@@ -1,0 +1,28 @@
+# Convenience targets for the UPP reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples lint clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/unit tests/property
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-full:
+	REPRO_BENCH_FULL=1 REPRO_BENCH_SCALE=4 \
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} \;

@@ -1,0 +1,47 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table or figure of the paper.  Because a
+pure-Python cycle-level simulator is orders of magnitude slower than
+gem5/Garnet, default measurement windows are reduced; set
+``REPRO_BENCH_SCALE`` (e.g. ``2`` or ``5``) to lengthen every run, and
+``REPRO_BENCH_FULL=1`` to use the complete workload/pattern lists where a
+subset is the default.  Curve shapes (who wins, saturation ordering,
+crossovers) are stable at the default scale.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Sequence
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def scaled(cycles: int) -> int:
+    return max(200, int(cycles * bench_scale()))
+
+
+def print_series(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print one figure's series in the layout the paper reports."""
+    print(f"\n=== {title} ===")
+    print("  " + " | ".join(f"{h:>14}" for h in header))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:>14.4f}")
+            else:
+                cells.append(f"{str(value):>14}")
+        print("  " + " | ".join(cells))
+
+
+def print_normalized(title: str, results: Dict[str, Dict[str, float]], key: str) -> None:
+    print(f"\n=== {title} ===")
+    for name, values in results.items():
+        print(f"  {name:>16}: {values[key]:.4f}")

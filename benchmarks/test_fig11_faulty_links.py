@@ -1,0 +1,73 @@
+"""Fig. 11: UPP latency in irregular systems with 0/1/5/10/15/20 faulty
+links (averaged over randomized faulty topologies), 1 and 4 VCs per VNet.
+
+Composable routing and remote control are excluded, as in the paper:
+composable's design-time search cannot rerun online and remote control's
+permission subnetwork is hard-wired.  Expected shape: graceful saturation
+degradation and a mild latency increase as links fail."""
+
+import random
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.sim.experiment import latency_sweep, saturation_throughput
+from repro.topology.chiplet import build_system
+from repro.topology.faults import inject_faults
+
+from benchmarks.common import full_mode, print_series, scaled
+
+FAULTS_DEFAULT = (0, 5, 20)
+FAULTS_FULL = (0, 1, 5, 10, 15, 20)
+RATES = (0.01, 0.04, 0.07, 0.10)
+SEEDS = (11, 23)
+
+
+def run_counts(vcs: int):
+    counts = FAULTS_FULL if full_mode() else FAULTS_DEFAULT
+    results = {}
+    for n_faults in counts:
+        latencies, saturations = [], []
+        for seed in SEEDS if n_faults else SEEDS[:1]:
+            def topo_factory(n_faults=n_faults, seed=seed):
+                topo = build_system()
+                if n_faults:
+                    inject_faults(topo, n_faults, random.Random(seed))
+                return topo
+
+            points = latency_sweep(
+                topo_factory,
+                NocConfig(vcs_per_vnet=vcs),
+                "upp",
+                "uniform_random",
+                RATES,
+                warmup=scaled(400),
+                measure=scaled(1500),
+            )
+            latencies.append(points[0].latency)
+            saturations.append(saturation_throughput(points))
+        results[n_faults] = {
+            "latency": sum(latencies) / len(latencies),
+            "saturation": sum(saturations) / len(saturations),
+        }
+    return results
+
+
+@pytest.mark.parametrize("vcs", (1, 4))
+def test_fig11(benchmark, vcs):
+    results = benchmark.pedantic(run_counts, args=(vcs,), rounds=1, iterations=1)
+    rows = [
+        [f"{n} faulty links", v["latency"], v["saturation"]]
+        for n, v in results.items()
+    ]
+    print_series(
+        f"Fig. 11 — UPP under faulty links, {vcs} VC(s)",
+        ["series", "latency (cyc)", "sat thpt"],
+        rows,
+    )
+    counts = sorted(results)
+    # graceful degradation: latency rises, saturation falls, no collapse
+    assert results[counts[-1]]["latency"] >= results[0]["latency"]
+    assert results[counts[-1]]["latency"] < 4 * results[0]["latency"]
+    assert results[counts[-1]]["saturation"] <= results[0]["saturation"] * 1.05
+    assert results[counts[-1]]["saturation"] > 0

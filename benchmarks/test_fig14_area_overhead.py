@@ -1,0 +1,63 @@
+"""Fig. 14: hardware overhead in chiplet and interposer routers (1 GHz,
+45 nm), for composable routing, remote control and UPP with 1 and 4 VCs
+per VNet.
+
+Expected values (paper): composable ~0 everywhere; remote control 4.14% /
+1.65% on chiplet routers; UPP 3.77% / 1.50% on chiplet routers and
+2.62% / 1.47% on interposer routers — all under the abstract's <4% bound."""
+
+from repro.metrics.area import (
+    PAPER_BASELINE_AREA,
+    baseline_router_area,
+    figure14_table,
+    upp_chiplet_overhead,
+)
+from repro.sim.presets import table2_config
+
+from benchmarks.common import print_series
+
+PAPER = {
+    ("composable", "chiplet_1vc"): 0.0,
+    ("composable", "chiplet_4vc"): 0.0,
+    ("remote_control", "chiplet_1vc"): 0.0414,
+    ("remote_control", "chiplet_4vc"): 0.0165,
+    ("upp", "chiplet_1vc"): 0.0377,
+    ("upp", "chiplet_4vc"): 0.0150,
+    ("upp", "interposer_1vc"): 0.0262,
+    ("upp", "interposer_4vc"): 0.0147,
+}
+
+
+def build():
+    return figure14_table(table2_config(1), table2_config(4))
+
+
+def test_fig14(benchmark):
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for scheme, values in table.items():
+        for key, value in values.items():
+            paper = PAPER.get((scheme, key))
+            rows.append(
+                [
+                    f"{scheme}/{key}",
+                    f"{value * 100:.2f}%",
+                    f"{paper * 100:.2f}%" if paper is not None else "-",
+                ]
+            )
+    print_series("Fig. 14 — router area overhead", ["component", "ours", "paper"], rows)
+    print(
+        "  baseline areas:",
+        {
+            vcs: (round(baseline_router_area(table2_config(vcs))), target)
+            for vcs, target in PAPER_BASELINE_AREA.items()
+        },
+    )
+    for (scheme, key), expected in PAPER.items():
+        assert table[scheme][key] == pytest.approx(expected, abs=0.006), (scheme, key)
+    # headline claim: UPP under 4% everywhere
+    for vcs in (1, 4):
+        assert upp_chiplet_overhead(table2_config(vcs)).overhead < 0.04
+
+
+import pytest  # noqa: E402  (used in assertion above)

@@ -1,0 +1,30 @@
+"""Table I: qualitative comparison of deadlock-freedom approaches.
+
+Regenerates the modular-approach rows (composable routing, remote
+control, UPP) from the schemes' machine-checkable profiles, plus the
+paper's bottom-line: UPP is the only row with every property.
+"""
+
+from repro.schemes.base import PROFILE_COLUMNS
+from repro.schemes.taxonomy import only_all_yes_row, table1_rows
+
+from benchmarks.common import print_series
+
+
+def build_table():
+    return [
+        [f"{row['group']}/{row['name']}"]
+        + ["yes" if row[c] else "no" for c in PROFILE_COLUMNS]
+        for row in table1_rows()
+    ]
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print_series(
+        "Table I — deadlock-freedom approaches",
+        ["approach"] + list(PROFILE_COLUMNS),
+        rows,
+    )
+    # the paper's claim: UPP is the only all-yes row
+    assert only_all_yes_row() == "upp"

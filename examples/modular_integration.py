@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Design modularity in action (the paper's Sec. III-A properties).
+
+Integrates four chiplets that could plausibly come from four vendors:
+
+* a 4x4 compute chiplet with 4 VCs per VNet,
+* a 2x4 accelerator with 2 deep VCs,
+* a 3x3 compute chiplet with the default 1 VC,
+* a tiny 2x2 I/O chiplet.
+
+Every chiplet keeps its own mesh shape (topology modularity), its own VC
+budget (VC modularity) and the shared wormhole flow control; UPP protects
+the integrated system without any per-chiplet configuration.
+
+Run:  python examples/modular_integration.py
+"""
+
+from repro import NocConfig, UPPScheme, install_synthetic_traffic
+from repro.noc.network import Network
+from repro.topology.chiplet import build_heterogeneous_system
+
+CHIPLETS = [
+    {"shape": (4, 4), "origin": (0, 0), "footprint": (2, 2),
+     "boundary": [(0, 1), (0, 2), (3, 1), (3, 2)], "label": "compute-16 (4 VCs)"},
+    {"shape": (2, 4), "origin": (0, 2), "footprint": (2, 2),
+     "boundary": [(0, 1), (1, 2)], "label": "accelerator-8 (2 deep VCs)"},
+    {"shape": (3, 3), "origin": (2, 0), "footprint": (2, 2),
+     "boundary": [(0, 1), (2, 1)], "label": "compute-9 (1 VC)"},
+    {"shape": (2, 2), "origin": (2, 2), "footprint": (2, 2),
+     "boundary": [(0, 0), (1, 1)], "label": "io-4 (1 VC)"},
+]
+
+VC_BUDGETS = {
+    0: NocConfig(vcs_per_vnet=4),
+    1: NocConfig(vcs_per_vnet=2, vc_depth=8),
+}
+
+
+def main() -> None:
+    topo = build_heterogeneous_system((4, 4), CHIPLETS)
+    net = Network(topo, NocConfig(vcs_per_vnet=1), UPPScheme(), chiplet_cfgs=VC_BUDGETS)
+
+    print("integrated system:")
+    for chip, spec in enumerate(CHIPLETS):
+        cfg = VC_BUDGETS.get(chip, net.cfg)
+        rows, cols = spec["shape"]
+        print(
+            f"  chiplet {chip}: {spec['label']:<26} {rows}x{cols} mesh, "
+            f"{len(topo.boundary_routers(chip))} vertical links, "
+            f"{cfg.vcs_per_vnet} VC(s)/VNet x {cfg.vc_depth} flits"
+        )
+    print(f"  total: {topo.n_routers} routers, {len(topo.chiplet_nodes)} cores")
+
+    endpoints = install_synthetic_traffic(net, "uniform_random", rate=0.06)
+    net.run(4000)
+    per_chiplet = {}
+    for chip in range(4):
+        nodes = topo.chiplet_routers(chip)
+        per_chiplet[chip] = sum(net.nis[n].ejected_packets for n in nodes)
+    print("\npackets delivered into each chiplet after 4000 cycles:")
+    for chip, count in per_chiplet.items():
+        print(f"  chiplet {chip}: {count}")
+    stats = net.scheme.stats
+    print(
+        f"\nUPP: {stats.upward_packets} upward packets selected, "
+        f"{stats.popups_completed} popups — modularity costs the chiplets "
+        f"no coordination at design time"
+    )
+    for e in endpoints:
+        if hasattr(e, "enabled"):
+            e.enabled = False
+            e._backlog.clear()
+    drained = net.drain(max_cycles=100_000)
+    print(f"drain: {'clean' if drained else 'FAILED'}")
+
+
+if __name__ == "__main__":
+    main()

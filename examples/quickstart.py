@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's baseline chiplet system, protect it with
+UPP, drive it with uniform-random traffic and print the headline metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    NocConfig,
+    Simulation,
+    UPPScheme,
+    baseline_system,
+    install_synthetic_traffic,
+)
+
+
+def main() -> None:
+    # Table II configuration: 3 VNets x 1 VC, 4-flit VCs, 3-stage routers.
+    cfg = NocConfig(vcs_per_vnet=1)
+
+    # The Fig. 1 system: a 4x4 mesh interposer carrying four 4x4 mesh
+    # chiplets, each attached through four boundary routers.
+    topo = baseline_system()
+    print(
+        f"system: {topo.n_routers} routers "
+        f"({topo.n_interposer} interposer + {len(topo.chiplet_nodes)} cores), "
+        f"{len(topo.boundary_routers())} vertical links"
+    )
+
+    # UPP: fully adaptive routing; deadlocks are detected by the per-VNet
+    # timeout counters and recovered through upward packet popup.
+    sim = Simulation(topo, cfg, UPPScheme())
+    install_synthetic_traffic(sim.network, "uniform_random", rate=0.05)
+
+    result = sim.run(warmup=1000, measure=5000)
+
+    print(f"simulated {result.cycles} measured cycles")
+    summary = result.summary
+    print(f"  packets delivered : {summary['packets']}")
+    print(f"  avg network latency: {summary['avg_network_latency']:.1f} cycles")
+    print(f"  avg total latency  : {summary['avg_total_latency']:.1f} cycles")
+    print(f"  throughput         : {summary['throughput']:.4f} flits/cycle/node")
+    print(f"  avg hops           : {summary['avg_hops']:.2f}")
+    upp = result.scheme_stats
+    print(
+        f"  UPP activity       : {upp['upward_packets']} upward packets "
+        f"selected, {upp['popups_completed']} popups completed"
+    )
+    print("(at this load the network rarely stalls long enough to trigger")
+    print(" detection — exactly the paper's 'deadlocks are rare' premise)")
+
+
+if __name__ == "__main__":
+    main()

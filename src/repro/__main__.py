@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Quick access to the library's main experiments without writing a script:
+
+* ``info``      — system and scheme summary
+* ``sweep``     — latency vs injection rate for one scheme/pattern
+* ``workload``  — a Fig. 8-style coherence run across all three schemes
+* ``deadlock``  — provoke a certified deadlock and recover it with UPP
+* ``area``      — the Fig. 14 area-overhead table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import UPPConfig
+from repro.noc.config import NocConfig
+from repro.sim.experiment import (
+    latency_sweep,
+    runtime_comparison,
+    saturation_throughput,
+)
+from repro.sim.presets import table2_config
+from repro.topology.chiplet import baseline_system, large_system
+from repro.traffic.synthetic import PATTERNS
+from repro.traffic.workloads import get_workload, workload_names
+
+
+def _topo_factory(name: str):
+    return {"baseline": baseline_system, "large": large_system}[name]
+
+
+def cmd_info(args) -> int:
+    """Print the topology summary and the full Table I."""
+    from repro.schemes.base import PROFILE_COLUMNS
+    from repro.schemes.taxonomy import table1_rows
+
+    topo = _topo_factory(args.topology)()
+    print(f"topology '{args.topology}':")
+    print(f"  routers        : {topo.n_routers}")
+    print(f"  interposer     : {topo.n_interposer}")
+    print(f"  chiplets       : {topo.n_chiplets}")
+    print(f"  vertical links : {len(topo.boundary_routers())}")
+    print("\nTable I (yes = property held):")
+    header = ["approach"] + [c[:12] for c in PROFILE_COLUMNS]
+    print("  " + " | ".join(f"{h:>14}" for h in header))
+    for row in table1_rows():
+        cells = [f"{row['group']}/{row['name']}"] + [
+            "yes" if row[c] else "no" for c in PROFILE_COLUMNS
+        ]
+        print("  " + " | ".join(f"{c:>14}" for c in cells))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Run a latency-vs-injection-rate sweep and print the curve."""
+    rates = [float(r) for r in args.rates.split(",")]
+    points = latency_sweep(
+        _topo_factory(args.topology),
+        table2_config(args.vcs),
+        args.scheme,
+        args.pattern,
+        rates,
+        warmup=args.warmup,
+        measure=args.measure,
+        upp_cfg=UPPConfig(detection_threshold=args.threshold),
+    )
+    print(f"{'rate':>8} | {'latency':>10} | {'throughput':>10} | {'upward':>7}")
+    for p in points:
+        print(
+            f"{p.rate:>8} | {p.latency:>8.1f} cy | {p.throughput:>10.4f} "
+            f"| {p.upward_packets:>7}"
+        )
+    print(f"saturation throughput: {saturation_throughput(points):.4f}")
+    if len(points) > 1:
+        from repro.metrics.render import curve
+
+        for line in curve(
+            {args.scheme: [(p.rate, p.latency) for p in points]},
+            height=8,
+            width=46,
+            x_label="injection rate",
+            y_label="latency",
+        ):
+            print(line)
+    return 0
+
+
+def cmd_workload(args) -> int:
+    """Run one coherence workload under all three schemes."""
+    profile = get_workload(args.name, scale=args.scale)
+    results = runtime_comparison(
+        _topo_factory(args.topology), table2_config(args.vcs), profile
+    )
+    print(f"{'scheme':>16} | {'runtime':>8} | {'normalized':>10}")
+    for scheme, r in results.items():
+        print(f"{scheme:>16} | {int(r['runtime']):>8} | {r['normalized_runtime']:>10.4f}")
+    return 0
+
+
+def cmd_deadlock(args) -> int:
+    """Provoke a certified deadlock, then recover it with UPP."""
+    from repro.metrics.deadlock import describe_deadlock, knot_has_upward_packet
+    from repro.schemes.none import UnprotectedScheme
+    from repro.schemes.upp import UPPScheme
+    from repro.sim.simulator import Simulation
+    from repro.traffic.adversarial import install_adversarial_traffic, witness_flows
+
+    cfg = NocConfig(vcs_per_vnet=1)
+    sim = Simulation(baseline_system(), cfg, UnprotectedScheme(), watchdog_window=10**9)
+    flows = witness_flows(sim.network)
+    install_adversarial_traffic(sim.network, flows)
+    knot = []
+    while not knot and sim.network.cycle < 10_000:
+        sim.network.run(250)
+        knot = describe_deadlock(sim.network)
+    if not knot:
+        print("no deadlock formed")
+        return 1
+    print(
+        f"unprotected: {len(knot)}-packet deadlock at cycle {sim.network.cycle}; "
+        f"contains an upward packet: {knot_has_upward_packet(sim.network)}"
+    )
+    sim = Simulation(baseline_system(), cfg, UPPScheme(), watchdog_window=2500)
+    install_adversarial_traffic(sim.network, flows)
+    result = sim.run(warmup=0, measure=10_000)
+    stats = result.scheme_stats
+    print(
+        f"UPP: survived; {stats['upward_packets']} upward packets, "
+        f"{stats['popups_completed']} popups, "
+        f"{result.summary['packets']} packets delivered"
+    )
+    return 0
+
+
+def cmd_area(args) -> int:
+    """Print the Fig. 14 area-overhead table."""
+    from repro.metrics.area import baseline_router_area, figure14_table
+
+    table = figure14_table(table2_config(1), table2_config(4))
+    for vcs in (1, 4):
+        print(f"baseline router area ({vcs} VC): "
+              f"{baseline_router_area(table2_config(vcs)):,.0f} um^2")
+    for scheme, values in table.items():
+        cells = ", ".join(f"{k}={v * 100:.2f}%" for k, v in values.items())
+        print(f"  {scheme:>16}: {cells}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UPP (HPCA 2022) reproduction: chiplet NoC deadlock recovery",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="system and Table I summary")
+    p.add_argument("--topology", choices=("baseline", "large"), default="baseline")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("sweep", help="latency vs injection rate")
+    p.add_argument("--scheme", choices=("upp", "composable", "remote_control", "none"),
+                   default="upp")
+    p.add_argument("--pattern", choices=tuple(PATTERNS), default="uniform_random")
+    p.add_argument("--rates", default="0.01,0.03,0.05,0.07,0.09")
+    p.add_argument("--vcs", type=int, choices=(1, 4), default=1)
+    p.add_argument("--warmup", type=int, default=500)
+    p.add_argument("--measure", type=int, default=2500)
+    p.add_argument("--threshold", type=int, default=20)
+    p.add_argument("--topology", choices=("baseline", "large"), default="baseline")
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("workload", help="coherence workload across schemes")
+    p.add_argument("name", choices=tuple(workload_names()))
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--vcs", type=int, choices=(1, 4), default=1)
+    p.add_argument("--topology", choices=("baseline", "large"), default="baseline")
+    p.set_defaults(fn=cmd_workload)
+
+    p = sub.add_parser("deadlock", help="provoke a deadlock, recover with UPP")
+    p.set_defaults(fn=cmd_deadlock)
+
+    p = sub.add_parser("area", help="Fig. 14 area overhead table")
+    p.set_defaults(fn=cmd_area)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""The UPP deadlock-recovery framework (the paper's contribution)."""
+
+from repro.core.circuit import ChipletCircuitTable
+from repro.core.config import UPPConfig
+from repro.core.detection import UPPDetector
+from repro.core.popup import InterposerPopupUnit, PopupPhase, UPPStats
+
+__all__ = [
+    "ChipletCircuitTable",
+    "InterposerPopupUnit",
+    "PopupPhase",
+    "UPPConfig",
+    "UPPDetector",
+    "UPPStats",
+]

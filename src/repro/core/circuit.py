@@ -1,0 +1,222 @@
+"""Chiplet-router circuit tables for popup transmission (Fig. 6 top).
+
+An ``UPP_req`` records the (input port -> output port) crossbar connection
+it used in every chiplet router it traverses; upward flits later follow
+the same connection by VNet lookup, bypassing buffers and switch
+allocation (hybrid flow control, Sec. V-C).  The same table implements the
+wormhole partly-transmitted machinery of Sec. V-B3: the req tags the VC
+holding the upward packet's head flit, and the returning ack arms the
+popup to start from that VC.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict, Optional
+
+from repro.noc.flit import FlitKind, Port
+
+
+class CircuitState(IntEnum):
+    """Life cycle of one recorded crossbar connection."""
+
+    RECORDED = 0  # req passed; awaiting the ack
+    COMMITTED = 1  # ack passed back: popup flits are coming
+    ACTIVE = 2  # popup flits flowing
+
+
+class CircuitEntry:
+    """One VNet's recorded (input -> output) crossbar connection."""
+
+    __slots__ = ("in_port", "out_port", "token", "state")
+
+    def __init__(self, in_port: Port, out_port: Port, token: int):
+        self.in_port = in_port
+        self.out_port = out_port
+        self.token = token
+        self.state = CircuitState.RECORDED
+
+
+class TaggedDrain:
+    """State for a popup that starts at this router (head flit was here)."""
+
+    __slots__ = ("in_port", "vc_ref", "token", "pid", "armed")
+
+    def __init__(self, in_port: Port, vc_ref, token: int, pid: int):
+        self.in_port = in_port
+        self.vc_ref = vc_ref
+        self.token = token
+        self.pid = pid
+        self.armed = False
+
+
+class ChipletCircuitTable:
+    """Per-chiplet-router UPP state: circuits (one per VNet) and tags."""
+
+    def __init__(self, n_vnets: int, stats):
+        self.n_vnets = n_vnets
+        self.stats = stats
+        self.circuits: Dict[int, CircuitEntry] = {}
+        self.tags: Dict[int, TaggedDrain] = {}
+        #: reqs made to wait because a same-VNet circuit was active.
+        self.held_reqs = 0
+
+    # ------------------------------------------------------------------ #
+    # signal handling (called from Router._dispatch_signal)
+
+    def on_signal(self, router, sig, in_port: Port, cycle: int) -> str:
+        """Returns 'consume' (signal ends here), 'hold' (retry next cycle)
+        or 'continue' (generic transport proceeds)."""
+        if sig.kind == FlitKind.UPP_REQ:
+            return self._on_req(router, sig, in_port)
+        if sig.kind == FlitKind.UPP_ACK:
+            return self._on_ack(router, sig)
+        return self._on_stop(sig)
+
+    def _on_req(self, router, sig, in_port: Port) -> str:
+        vnet = sig.vnet
+        existing = self.circuits.get(vnet)
+        if existing is not None:
+            # a same-VNet circuit already lives here (another attempt's
+            # req passed and its popup may still launch: overwriting would
+            # misroute its flits).  Serialise: hold this req until the
+            # other attempt's tail or UPP_stop releases the entry — both
+            # are guaranteed, so the hold is bounded by the abort timeout.
+            self.held_reqs += 1
+            return "hold"
+        out_port = (
+            Port.LOCAL
+            if sig.dst == router.rid
+            else router.routing(router, in_port, sig.dst, -1)
+        )
+        self.circuits[vnet] = CircuitEntry(in_port, out_port, sig.token)
+        # wormhole partly-transmitted: does this router hold the head flit?
+        if sig.pid >= 0 and vnet not in self.tags:
+            iport = router.in_ports.get(in_port)
+            if iport is not None:
+                for vc in iport.vnet_vcs(vnet):
+                    if vc.active_pid == sig.pid and any(
+                        f.is_header for f in vc.queue
+                    ):
+                        vc.popup_tagged = True
+                        self.tags[vnet] = TaggedDrain(in_port, vc, sig.token, sig.pid)
+                        break
+        return "continue"
+
+    def _on_ack(self, router, sig) -> str:
+        vnet = sig.vnet
+        tag = self.tags.get(vnet)
+        if tag is not None and tag.token == sig.token and not tag.armed:
+            vc = tag.vc_ref
+            if vc.active_pid == tag.pid and any(f.is_header for f in vc.queue):
+                # head still here: popup starts from this VC (Sec. V-B3)
+                tag.armed = True
+                sig.start = True
+                entry = self.circuits.get(vnet)
+                if entry is not None and entry.token == sig.token:
+                    entry.state = CircuitState.ACTIVE
+                return "continue"
+            # the head flit has been sent out: discard the ack
+            vc.popup_tagged = False
+            del self.tags[vnet]
+            self._release_token(vnet, sig.token)
+            self.stats.stale_acks += 1
+            return "consume"
+        entry = self.circuits.get(vnet)
+        if entry is not None and entry.token == sig.token:
+            if sig.start:
+                # between the tag and the interposer: popup flits will
+                # never pass here — free the recorded connection.
+                self._release_token(vnet, sig.token)
+            else:
+                # downstream of the (future) popup: commit the circuit so
+                # no newer req can overwrite it before the flits arrive.
+                entry.state = CircuitState.COMMITTED
+        return "continue"
+
+    def _on_stop(self, sig) -> str:
+        """An aborted attempt's UPP_stop retraces the req's route: clear
+        the (un-armed) tag it may have left here, or the tagged VC would
+        stay frozen out of normal switch allocation forever.
+
+        Race: the interposer may abort (ack timeout) while the ack is
+        already in flight; stop and ack then cross mid-route.  If the ack
+        armed this tag first, the popup is underway and will consume the
+        NI reservation itself — the stop ends here instead of recycling a
+        reservation the popup still needs."""
+        vnet = sig.vnet
+        tag = self.tags.get(vnet)
+        if tag is not None and tag.token == sig.token:
+            if tag.armed:
+                return "consume"
+            tag.vc_ref.popup_tagged = False
+            del self.tags[vnet]
+        self._release_token(vnet, sig.token)
+        return "continue"
+
+    def _release_token(self, vnet: int, token: int) -> None:
+        entry = self.circuits.get(vnet)
+        if entry is not None and entry.token == token:
+            del self.circuits[vnet]
+
+    # ------------------------------------------------------------------ #
+    # popup datapath (called from Router)
+
+    def circuit_out(self, vnet: int, in_port: Port) -> Optional[Port]:
+        """Look up (and activate) the circuit for an arriving popup flit;
+        ``None`` when no matching connection is recorded."""
+        entry = self.circuits.get(vnet)
+        if entry is None or entry.in_port != in_port:
+            return None
+        entry.state = CircuitState.ACTIVE
+        return entry.out_port
+
+    def release(self, vnet: int, in_port: Port) -> None:
+        """Tear down a circuit after its popup's tail has passed."""
+        entry = self.circuits.get(vnet)
+        if entry is not None and entry.in_port == in_port:
+            del self.circuits[vnet]
+
+    def drain_tagged(self, router, cycle: int) -> None:
+        """Forward one flit per armed tag through its circuit, with the
+        same priority/bypass semantics as other popup flits."""
+        if not self.tags:
+            return
+        for vnet in list(self.tags):
+            tag = self.tags[vnet]
+            if not tag.armed:
+                continue
+            vc = tag.vc_ref
+            if not vc.queue:
+                continue
+            entry = self.circuits.get(vnet)
+            if entry is None:
+                raise RuntimeError(
+                    f"armed popup tag without circuit at router {router.rid}"
+                )
+            flit = vc.queue[0]
+            if flit.arrival_cycle > cycle or entry.out_port in router._used_out:
+                continue
+            if flit.packet.pid != tag.pid:
+                raise RuntimeError("popup tag drained a foreign packet")
+            flit = vc.pop()
+            router.energy.buffer_reads += 1
+            if entry.out_port == Port.LOCAL:
+                flit.popup = True
+                router.ni.eject_popup_flit(flit, cycle)
+                router.energy.xbar_traversals += 1
+                router._used_out.add(Port.LOCAL)
+                flit.packet.popup_count += 1
+                self.stats.popup_flits += 1
+            else:
+                router.send_popup_flit(flit, entry.out_port, cycle)
+                self.stats.popup_flits += 1
+            router._used_in.add(tag.in_port)
+            router._return_credit(tag.in_port, vc.vc_index, flit.is_tail, cycle)
+            if flit.is_tail:
+                del self.tags[vnet]
+                self.release(vnet, tag.in_port)
+
+    def has_state(self) -> bool:
+        """True while any circuit or tag is live (keeps the router awake)."""
+        return bool(self.circuits or self.tags)

@@ -1,0 +1,43 @@
+"""Per-chiplet popup coordination (the Sec. V-B5 alternative).
+
+Instead of relying on the static-binding routing property to keep
+protocol signals of different interposer routers from contending in a
+chiplet, the interposer routers attached to one chiplet can coordinate so
+that at most one popup per VNet is underway in that chiplet at any time.
+The paper prefers static binding (better popup parallelism); this module
+exists so the trade-off can be measured (see
+``benchmarks/test_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+
+class PopupCoordinator:
+    """Mutual exclusion over (chiplet, VNet) popup activity."""
+
+    def __init__(self, n_vnets: int):
+        self.n_vnets = n_vnets
+        self._busy: Set[Tuple[int, int]] = set()
+        self.acquisitions = 0
+        self.rejections = 0
+
+    def acquire(self, chiplet: int, vnet: int) -> bool:
+        """Try to claim the (chiplet, VNet) popup slot."""
+        key = (chiplet, vnet)
+        if key in self._busy:
+            self.rejections += 1
+            return False
+        self._busy.add(key)
+        self.acquisitions += 1
+        return True
+
+    def release(self, chiplet: int, vnet: int) -> None:
+        """Free the slot when the popup completes or aborts."""
+        self._busy.discard((chiplet, vnet))
+
+    @property
+    def active(self) -> int:
+        """Popups currently coordinated across all chiplets."""
+        return len(self._busy)

@@ -1,0 +1,82 @@
+"""UPP deadlock detection (Sec. V-A).
+
+Step one: a per-(interposer router, VNet) timeout counter records how long
+packets of that VNet have been stalled while attempting to move upward
+with nothing leaving the up output port.  Step two: once the counter
+crosses the threshold, a round-robin arbiter selects one stalled VC as the
+upward packet — every persistently stalled VC is eventually selected, so
+all deadlocks are detected even when the timeout fires on mere congestion
+(false positives are handled, not avoided).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.flit import Port, UPWARD_PORTS
+
+
+class UPPDetector:
+    """Timeout counters + upward-packet arbiter for one interposer router."""
+
+    def __init__(self, n_vnets: int, threshold: int):
+        self.threshold = threshold
+        self.counters = [0] * n_vnets
+        self._stalled = [False] * n_vnets
+        self._sent = [False] * n_vnets
+        self._arbiters: List[Optional[RoundRobinArbiter]] = [None] * n_vnets
+        #: total threshold crossings (selections offered), for Fig. 12/13.
+        self.detections = 0
+
+    def observe(self, vnet: int, stalled: bool, sent: bool) -> None:
+        """Record this cycle's up-port behaviour for one VNet (called from
+        the router's switch-allocation stage)."""
+        self._stalled[vnet] = stalled
+        self._sent[vnet] = sent
+
+    def tick(self, vnet: int, counting_enabled: bool) -> bool:
+        """Advance the VNet's counter; returns True when the threshold is
+        crossed (a deadlock is presumed and selection should run)."""
+        if not counting_enabled:
+            self.counters[vnet] = 0
+            return False
+        if self._sent[vnet] or not self._stalled[vnet]:
+            self.counters[vnet] = 0
+            return False
+        self.counters[vnet] += 1
+        if self.counters[vnet] >= self.threshold:
+            self.counters[vnet] = 0
+            self.detections += 1
+            return True
+        return False
+
+    def select_upward(self, router, vnet: int) -> Optional[Tuple[Port, int]]:
+        """Round-robin selection among this VNet's stalled upward VCs.
+
+        Returns ``(in_port, vc_index)`` or ``None`` if no VC currently
+        qualifies (the stall may have resolved this very cycle).
+        """
+        ports = sorted(router.in_ports)
+        candidates = []
+        slots = []
+        slot = 0
+        for port in ports:
+            for vc in router.in_ports[port].vcs:
+                slots.append((port, vc))
+                if (
+                    vc.vnet == vnet
+                    and vc.queue
+                    and vc.out_port in UPWARD_PORTS
+                ):
+                    candidates.append(slot)
+                slot += 1
+        if not candidates:
+            return None
+        arbiter = self._arbiters[vnet]
+        if arbiter is None or arbiter.n != len(slots):
+            arbiter = RoundRobinArbiter(len(slots))
+            self._arbiters[vnet] = arbiter
+        chosen = arbiter.grant_from(candidates)
+        port, vc = slots[chosen]
+        return port, vc.vc_index

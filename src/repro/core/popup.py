@@ -1,0 +1,272 @@
+"""The interposer-router popup unit (Fig. 6 middle, Secs. V-A..V-C).
+
+One :class:`InterposerPopupUnit` is attached per interposer router.  It
+owns the per-VNet detection counters, the upward-packet table (the paper's
+"table with an entry for each VNet records the stage of the popup, the
+position and the destination of the upward packet"), and the serial signal
+transmitter.
+
+Popup attempt lifecycle::
+
+    IDLE --threshold crossed, VC selected / req queued--> WAIT_ACK
+    WAIT_ACK --ack (head was here)-------------------> ACTIVE_LOCAL
+    WAIT_ACK --ack.start (head was in chiplet)-------> ACTIVE_REMOTE
+    WAIT_ACK --packet proceeds normally / timeout----> IDLE (UPP_stop sent)
+    ACTIVE_LOCAL  --tail sent up as popup flit-------> IDLE (recovered)
+    ACTIVE_REMOTE --tail sent up normally------------> IDLE (recovered)
+
+``CLEANUP`` covers the wormhole corner where a partly-transmitted packet
+fully drains out of the interposer while the ack is still in flight: the
+unit waits for the ack (or times out) to learn whether the reserved
+ejection entry was consumed by a popup or must be recycled with a stop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import IntEnum
+from typing import List, Optional
+
+from repro.core.config import UPPConfig
+from repro.core.detection import UPPDetector
+from repro.core.protocol import make_req, make_stop, new_token
+from repro.noc.flit import Port
+
+
+class PopupPhase(IntEnum):
+    """States of one per-VNet popup attempt (see module docstring)."""
+
+    IDLE = 0
+    WAIT_ACK = 1
+    CLEANUP = 2
+    ACTIVE_LOCAL = 3
+    ACTIVE_REMOTE = 4
+
+
+class UPPStats:
+    """Framework-wide counters (shared across all popup units)."""
+
+    __slots__ = (
+        "upward_packets",
+        "reqs_sent",
+        "stops_sent",
+        "popups_started",
+        "popups_completed",
+        "stale_acks",
+        "aborted_attempts",
+        "ack_timeouts",
+        "popup_flits",
+    )
+
+    def __init__(self) -> None:
+        self.upward_packets = 0
+        self.reqs_sent = 0
+        self.stops_sent = 0
+        self.popups_started = 0
+        self.popups_completed = 0
+        self.stale_acks = 0
+        self.aborted_attempts = 0
+        self.ack_timeouts = 0
+        self.popup_flits = 0
+
+    def snapshot(self) -> dict:
+        """Counter values as a plain dict."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class PopupAttempt:
+    """The per-VNet popup table entry (stage, position, destination)."""
+
+    __slots__ = (
+        "phase",
+        "token",
+        "vnet",
+        "in_port",
+        "vc_ref",
+        "pid",
+        "dst",
+        "out_port",
+        "req_cycle",
+        "interposer_start",
+    )
+
+    def __init__(self, vnet: int):
+        self.vnet = vnet
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to IDLE, invalidating the attempt's token."""
+        self.phase = PopupPhase.IDLE
+        self.token = -1
+        self.in_port: Optional[Port] = None
+        self.vc_ref = None
+        self.pid = -1
+        self.dst = -1
+        self.out_port: Optional[Port] = None
+        self.req_cycle = -1
+        self.interposer_start = False
+
+
+class InterposerPopupUnit:
+    """Detection + recovery controller for one interposer router."""
+
+    def __init__(self, n_vnets: int, cfg: UPPConfig, stats: UPPStats):
+        self.cfg = cfg
+        self.stats = stats
+        self.detector = UPPDetector(n_vnets, cfg.detection_threshold)
+        self.attempts: List[PopupAttempt] = [PopupAttempt(v) for v in range(n_vnets)]
+        self._outbox: deque = deque()
+        self._last_signal_cycle = -(10**9)
+        #: optional per-chiplet popup coordinator (Sec. V-B5 alternative).
+        self.coordinator = None
+        self.chiplet_of = None
+
+    # ------------------------------------------------------------------ #
+    # router-facing hooks
+
+    def observe(self, vnet: int, stalled: bool, sent: bool) -> None:
+        """Per-cycle up-port behaviour report from switch allocation."""
+        self.detector.observe(vnet, stalled, sent)
+
+    def holds_vc(self, vc) -> bool:
+        """True while this VC's packet is being transmitted by the popup
+        unit (its flits must not also move through normal SA)."""
+        attempt = self.attempts[vc.vnet]
+        return attempt.phase == PopupPhase.ACTIVE_LOCAL and attempt.vc_ref is vc
+
+    def on_normal_up_departure(self, router, flit, cycle: int) -> None:
+        """A flit left through an upward port via normal switch allocation."""
+        attempt = self.attempts[flit.packet.vnet]
+        if attempt.phase == PopupPhase.IDLE or flit.packet.pid != attempt.pid:
+            return
+        if attempt.phase == PopupPhase.WAIT_ACK:
+            if attempt.interposer_start:
+                # protocol rule 3: the upward packet proceeds before the ack
+                self._abort(attempt, cycle, stop=True)
+            elif flit.is_tail:
+                attempt.phase = PopupPhase.CLEANUP
+        elif attempt.phase == PopupPhase.ACTIVE_REMOTE and flit.is_tail:
+            self._finish(attempt)
+
+    def on_ack(self, router, sig, cycle: int) -> None:
+        """An UPP_ack returned home: start, track or abort the popup."""
+        attempt = self.attempts[sig.vnet]
+        if attempt.phase == PopupPhase.IDLE or sig.token != attempt.token:
+            self.stats.stale_acks += 1
+            return
+        if attempt.phase == PopupPhase.CLEANUP:
+            if sig.start:
+                self._finish(attempt)  # popup ran in the chiplet
+            else:
+                self._abort(attempt, cycle, stop=True)  # recycle reservation
+        elif attempt.phase == PopupPhase.WAIT_ACK:
+            if attempt.interposer_start:
+                attempt.phase = PopupPhase.ACTIVE_LOCAL
+                self.stats.popups_started += 1
+            elif sig.start:
+                attempt.phase = PopupPhase.ACTIVE_REMOTE
+                self.stats.popups_started += 1
+            else:
+                # the req never found the head (it moved between hops);
+                # abort and let detection retry
+                self._abort(attempt, cycle, stop=True)
+
+    def pre_switch(self, router, cycle: int) -> None:
+        """ACTIVE_LOCAL transmission: one flit per cycle leaves the selected
+        VC through the up port as a popup flit, bypassing downstream
+        buffers (Sec. V-C)."""
+        for attempt in self.attempts:
+            if attempt.phase != PopupPhase.ACTIVE_LOCAL:
+                continue
+            vc = attempt.vc_ref
+            if not vc.queue:
+                continue  # rest of the worm still crossing the interposer
+            flit = vc.queue[0]
+            if flit.arrival_cycle > cycle or attempt.out_port in router._used_out:
+                continue
+            flit = vc.pop()
+            router.energy.buffer_reads += 1
+            router.send_popup_flit(flit, attempt.out_port, cycle)
+            router.sent_up[attempt.vnet] = True
+            router._used_in.add(attempt.in_port)
+            router._return_credit(attempt.in_port, vc.vc_index, flit.is_tail, cycle)
+            self.stats.popup_flits += 1
+            if flit.is_tail:
+                self._finish(attempt)
+
+    # ------------------------------------------------------------------ #
+    # scheme-facing per-cycle hook
+
+    def tick(self, router, cycle: int) -> None:
+        """Once per cycle: detection, timeout handling, signal outbox."""
+        for vnet, attempt in enumerate(self.attempts):
+            if attempt.phase == PopupPhase.IDLE:
+                if self.detector.tick(vnet, counting_enabled=True):
+                    selection = self.detector.select_upward(router, vnet)
+                    if selection is not None:
+                        self._begin(router, vnet, selection, cycle)
+            else:
+                self.detector.tick(vnet, counting_enabled=False)
+                if (
+                    attempt.phase in (PopupPhase.WAIT_ACK, PopupPhase.CLEANUP)
+                    and cycle - attempt.req_cycle > self.cfg.ack_timeout
+                ):
+                    self.stats.ack_timeouts += 1
+                    self._abort(attempt, cycle, stop=True)
+        self._flush_outbox(router, cycle)
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _begin(self, router, vnet: int, selection, cycle: int) -> None:
+        in_port, vc_index = selection
+        vc = router.in_ports[in_port].vcs[vc_index]
+        if not vc.queue or vc.out_port is None:
+            return
+        packet = vc.queue[0].packet
+        if self.coordinator is not None:
+            chiplet = self.chiplet_of[packet.dst]
+            if not self.coordinator.acquire(chiplet, vnet):
+                return  # another interposer router is popping this
+                        # chiplet's VNet; detection will retry
+        attempt = self.attempts[vnet]
+        attempt.phase = PopupPhase.WAIT_ACK
+        attempt.token = new_token()
+        attempt.in_port = in_port
+        attempt.vc_ref = vc
+        attempt.pid = packet.pid
+        attempt.dst = packet.dst
+        attempt.out_port = vc.out_port
+        attempt.req_cycle = cycle
+        attempt.interposer_start = any(f.is_header for f in vc.queue)
+        req = make_req(packet.dst, vnet, vc_index, packet.pid, attempt.token)
+        self._outbox.append(req)
+        self.stats.upward_packets += 1
+        self.stats.reqs_sent += 1
+
+    def _abort(self, attempt: PopupAttempt, cycle: int, stop: bool) -> None:
+        if stop:
+            self._outbox.append(make_stop(attempt.dst, attempt.vnet, attempt.token))
+            self.stats.stops_sent += 1
+        self.stats.aborted_attempts += 1
+        self._release_coordination(attempt)
+        attempt.reset()
+
+    def _finish(self, attempt: PopupAttempt) -> None:
+        self.stats.popups_completed += 1
+        self._release_coordination(attempt)
+        attempt.reset()
+
+    def _release_coordination(self, attempt: PopupAttempt) -> None:
+        if self.coordinator is not None and attempt.dst >= 0:
+            self.coordinator.release(self.chiplet_of[attempt.dst], attempt.vnet)
+
+    def _flush_outbox(self, router, cycle: int) -> None:
+        """Serial signal transmission with the Sec. V-B5 minimum gap."""
+        if not self._outbox:
+            return
+        if cycle - self._last_signal_cycle < self.cfg.signal_min_gap:
+            return
+        sig = self._outbox.popleft()
+        router.inject_signal(sig, cycle)
+        self._last_signal_cycle = cycle

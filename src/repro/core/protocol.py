@@ -1,0 +1,45 @@
+"""UPP protocol signal construction and encoding accounting (Fig. 4).
+
+Tokens are simulation-side identities for popup attempts: the hardware
+distinguishes stale acks by the one-hot start/VNet fields and serial
+transmission; a monotonically increasing token models the same property
+explicitly and lets tests assert protocol rule 3 (a stale ``UPP_ack`` is
+discarded after an ``UPP_stop``).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from repro.noc.flit import FlitKind, SignalFlit
+
+_tokens = count(1)
+
+#: Fig. 4 field widths (bits), used by the area model (Fig. 14).
+REQ_STOP_FIELDS = {"type": 3, "dest_router_ni": 8, "vnet": 3, "input_vc": 4}
+ACK_FIELDS = {"type": 3, "vnet": 3, "start": 3}
+REQ_STOP_BITS = sum(REQ_STOP_FIELDS.values())  # 18
+ACK_BITS = sum(ACK_FIELDS.values())  # 9
+#: the implementation provisions 32-bit buffers "for a conservative
+#: estimation" (Sec. V-B2).
+SIGNAL_BUFFER_BITS = 32
+
+
+def new_token() -> int:
+    """A fresh popup-attempt identity."""
+    return next(_tokens)
+
+
+def make_req(dst: int, vnet: int, input_vc: int, pid: int, token: int) -> SignalFlit:
+    """``UPP_req``: reserve an ejection-queue entry at ``dst``'s NI and set
+    up the popup circuit along the way.  ``input_vc``/``pid`` identify the
+    upward packet for the wormhole partly-transmitted case (Sec. V-B3)."""
+    sig = SignalFlit(FlitKind.UPP_REQ, vnet, dst=dst, input_vc=input_vc, token=token)
+    sig.pid = pid
+    return sig
+
+
+def make_stop(dst: int, vnet: int, token: int) -> SignalFlit:
+    """``UPP_stop``: recycle a reservation whose upward packet proceeded
+    normally before the ack arrived (protocol rule 3)."""
+    return SignalFlit(FlitKind.UPP_STOP, vnet, dst=dst, token=token)

@@ -1,0 +1,36 @@
+"""Measurement: stats, energy/area models, deadlock-knot oracle."""
+
+from repro.metrics.area import baseline_router_area, figure14_table
+from repro.metrics.deadlock import (
+    deadlocked_packets,
+    describe_deadlock,
+    knot_has_upward_packet,
+)
+from repro.metrics.energy import EnergyBreakdown, network_energy
+from repro.metrics.render import bar_chart, curve, sparkline
+from repro.metrics.stats import SimulationStats, install_stats
+from repro.metrics.utilization import (
+    hotspots,
+    imbalance,
+    link_utilization,
+    vertical_link_loads,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "bar_chart",
+    "curve",
+    "sparkline",
+    "SimulationStats",
+    "baseline_router_area",
+    "deadlocked_packets",
+    "describe_deadlock",
+    "figure14_table",
+    "hotspots",
+    "imbalance",
+    "install_stats",
+    "link_utilization",
+    "vertical_link_loads",
+    "knot_has_upward_packet",
+    "network_energy",
+]

@@ -1,0 +1,134 @@
+"""Exact deadlock analysis oracle.
+
+Builds the live wait-for relation between *worms* (in-flight packets) and
+computes the maximal deadlocked knot: the set of packets whose every
+candidate output VC is owned by another member of the set.  A packet in
+the knot can provably never advance without external intervention (given
+that NI sinks keep consuming), so a non-empty knot is a true routing
+deadlock — no timeout heuristics involved.
+
+This is the ground-truth instrument behind the repository's deadlock
+tests: the unprotected scheme must produce non-empty knots under
+adversarial traffic, UPP and the avoidance baselines must never.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.noc.flit import Port, UPWARD_PORTS
+
+
+class HeadState:
+    """Where a packet's head flit currently waits and on whom."""
+
+    __slots__ = ("pid", "router", "in_port", "vc", "out_port", "blockers", "movable")
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self.router = -1
+        self.in_port: Optional[Port] = None
+        self.vc = None
+        self.out_port: Optional[Port] = None
+        #: pids owning each candidate output VC (OR-wait: any freeing
+        #: unblocks the head).
+        self.blockers: Set[int] = set()
+        self.movable = False
+
+
+def _head_states(network) -> Dict[int, HeadState]:
+    states: Dict[int, HeadState] = {}
+    topo = network.topo
+    for rid, router in network.routers.items():
+        for in_port, iport in router.in_ports.items():
+            for vc in iport.vcs:
+                if not vc.queue:
+                    continue
+                front = vc.queue[0]
+                if not front.is_header:
+                    continue  # head is further along; body follows it
+                state = HeadState(front.packet.pid)
+                state.router = rid
+                state.in_port = in_port
+                state.vc = vc
+                if vc.out_port is None:
+                    vc.out_port = router.routing(
+                        router, in_port, front.packet.dst, front.packet.src
+                    )
+                state.out_port = vc.out_port
+                oport = router.out_ports[vc.out_port]
+                free = oport.free_vcs(front.packet.vnet)
+                if free:
+                    state.movable = True
+                else:
+                    base = front.packet.vnet * oport.vcs_per_vnet
+                    for idx in range(base, base + oport.vcs_per_vnet):
+                        owner = oport.vc_owner[idx]
+                        if owner >= 0 and owner != state.pid:
+                            state.blockers.add(owner)
+                        elif owner == state.pid or owner < 0:
+                            # waiting on its own downstream drain or on an
+                            # untracked holder: treat as movable (conservative)
+                            state.movable = True
+                states[state.pid] = state
+    return states
+
+
+def deadlocked_packets(network) -> Set[int]:
+    """The maximal knot of packets that can never advance.
+
+    Iteratively removes packets that can move now or that wait on someone
+    outside the remaining set; whatever survives is genuinely deadlocked.
+    """
+    states = _head_states(network)
+    stuck: Set[int] = {
+        pid for pid, s in states.items() if not s.movable
+    }
+    changed = True
+    while changed:
+        changed = False
+        for pid in list(stuck):
+            state = states[pid]
+            if state.movable or any(b not in stuck for b in state.blockers):
+                stuck.discard(pid)
+                changed = True
+    return stuck
+
+
+def describe_deadlock(network) -> List[dict]:
+    """Human-readable description of the deadlocked knot, one entry per
+    stuck packet: position, wanted output and blockers."""
+    states = _head_states(network)
+    stuck = deadlocked_packets(network)
+    result = []
+    for pid in sorted(stuck):
+        state = states[pid]
+        result.append(
+            {
+                "pid": pid,
+                "router": state.router,
+                "layer": (
+                    "interposer"
+                    if network.topo.is_interposer(state.router)
+                    else f"chiplet{network.topo.chiplet_of[state.router]}"
+                ),
+                "in_port": state.in_port.name,
+                "out_port": state.out_port.name,
+                "blockers": sorted(state.blockers),
+            }
+        )
+    return result
+
+
+def knot_has_upward_packet(network) -> Optional[bool]:
+    """Does the current deadlocked knot contain a packet stalled on an
+    upward port (the paper's Sec. IV theorem)?  Returns None when the
+    network holds no deadlock."""
+    entries = describe_deadlock(network)
+    if not entries:
+        return None
+    return any(
+        e["out_port"] in (p.name for p in UPWARD_PORTS)
+        and e["layer"] == "interposer"
+        for e in entries
+    )

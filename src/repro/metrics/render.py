@@ -1,0 +1,80 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+report; these helpers add compact visual forms — ASCII curves and bar
+charts — so a terminal run of the benches reads like the figures.
+No plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = None) -> str:
+    """One-line intensity strip for a series (empty input -> '')."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    chars = []
+    for value in values:
+        level = int((value - lo) / span * (len(_BLOCKS) - 1))
+        chars.append(_BLOCKS[level])
+    return "".join(chars)
+
+
+def bar_chart(
+    entries: Dict[str, float], width: int = 40, unit: str = ""
+) -> List[str]:
+    """Horizontal bar chart lines, labels right-aligned."""
+    if not entries:
+        return []
+    peak = max(entries.values()) or 1.0
+    label_width = max(len(k) for k in entries)
+    lines = []
+    for name, value in entries.items():
+        bar = "#" * max(1, int(value / peak * width)) if value > 0 else ""
+        lines.append(f"{name:>{label_width}} | {bar} {value:.4g}{unit}")
+    return lines
+
+
+def curve(
+    series: Dict[str, List[Tuple[float, float]]],
+    height: int = 12,
+    width: int = 60,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> List[str]:
+    """Multi-series scatter/line plot on a character grid.
+
+    Each series gets a marker (a, b, c, ...); overlapping points show the
+    later series' marker.  Intended for latency-vs-injection-rate curves.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return []
+    xs, ys = zip(*points)
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghij"
+    for index, (name, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = [f"{y_label} [{y_lo:.3g} .. {y_hi:.3g}]"]
+    lines.extend("  |" + "".join(row) for row in grid)
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {x_label} [{x_lo:.3g} .. {x_hi:.3g}]")
+    legend = ", ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"   legend: {legend}")
+    return lines

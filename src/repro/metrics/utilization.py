@@ -1,0 +1,53 @@
+"""Per-link utilization analysis.
+
+The paper's Sec. III-B argues composable routing's turn restrictions
+funnel inter-chiplet traffic through few boundary routers, wasting
+bandwidth and unbalancing load.  Links already count the flits they
+carry, so utilization maps make that argument measurable: compare the
+vertical-link load spread under composable routing vs UPP and the
+imbalance is the whole story.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.noc.flit import Port, UPWARD_PORTS
+
+
+def link_utilization(network, cycles: int) -> Dict[Tuple[int, int, str], float]:
+    """Utilization (flits/cycle) of every router-to-router link."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return {
+        (link.src, link.dst, link.src_port.name): link.flits_carried / cycles
+        for link in network._router_links
+    }
+
+
+def vertical_link_loads(network, cycles: int) -> Dict[str, Dict[int, float]]:
+    """Up / down vertical-link utilization keyed by boundary router."""
+    up: Dict[int, float] = {}
+    down: Dict[int, float] = {}
+    for link in network._router_links:
+        if link.src_port in UPWARD_PORTS:
+            up[link.dst] = link.flits_carried / cycles
+        elif link.src_port == Port.DOWN:
+            down[link.src] = link.flits_carried / cycles
+    return {"up": up, "down": down}
+
+
+def imbalance(loads: Dict[int, float]) -> float:
+    """Max/mean load ratio: 1.0 is perfectly balanced."""
+    if not loads:
+        return 0.0
+    mean = sum(loads.values()) / len(loads)
+    if mean == 0:
+        return 0.0
+    return max(loads.values()) / mean
+
+
+def hotspots(network, cycles: int, top: int = 5) -> List[Tuple[Tuple, float]]:
+    """The ``top`` busiest links, for congestion diagnosis."""
+    utilization = link_utilization(network, cycles)
+    return sorted(utilization.items(), key=lambda kv: kv[1], reverse=True)[:top]

@@ -1,0 +1,21 @@
+"""Cycle-level NoC substrate: flits, buffers, links, routers, NIs."""
+
+from repro.noc.config import NocConfig
+from repro.noc.flit import Flit, FlitKind, Packet, Port, SignalFlit
+from repro.noc.network import Network
+from repro.noc.ni import Endpoint, NetworkInterface
+from repro.noc.router import Router, RouterKind
+
+__all__ = [
+    "Endpoint",
+    "Flit",
+    "FlitKind",
+    "Network",
+    "NetworkInterface",
+    "NocConfig",
+    "Packet",
+    "Port",
+    "Router",
+    "RouterKind",
+    "SignalFlit",
+]

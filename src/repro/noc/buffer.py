@@ -1,0 +1,196 @@
+"""Virtual channels, input ports and output-side credit state.
+
+Wormhole flow control with credit-based backpressure (Table II): each VC
+holds ``depth`` flit slots (default 4); an upstream router may only send a
+flit into a downstream VC when it holds a credit for it, and a VC is
+re-allocatable to a new packet only after its previous packet's tail has
+drained downstream (signalled by a ``vc_free`` credit).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.noc.flit import Flit, Port
+
+
+class VirtualChannel:
+    """One input virtual channel of a router port.
+
+    States follow Garnet: ``IDLE`` (unallocated) -> ``ACTIVE`` (holding a
+    packet's flits; the route and output VC chosen for the head flit are
+    cached here and reused by the body/tail flits, as in wormhole flow
+    control).
+    """
+
+    __slots__ = (
+        "vnet",
+        "vc_index",
+        "depth",
+        "queue",
+        "out_port",
+        "out_vc",
+        "active_pid",
+        "popup_tagged",
+    )
+
+    def __init__(self, vnet: int, vc_index: int, depth: int):
+        self.vnet = vnet
+        #: global VC index within the input port (across all VNets).
+        self.vc_index = vc_index
+        self.depth = depth
+        self.queue: deque = deque()
+        self.out_port: Optional[Port] = None
+        self.out_vc: int = -1
+        self.active_pid: int = -1
+        #: set when an UPP_req found this VC holding the head flit of a
+        #: partly-transmitted upward packet (Sec. V-B3): popup starts here.
+        self.popup_tagged = False
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no packet is allocated to this VC."""
+        return self.active_pid < 0
+
+    @property
+    def free_slots(self) -> int:
+        """Unoccupied flit slots."""
+        return self.depth - len(self.queue)
+
+    def front(self) -> Optional[Flit]:
+        """The flit at the head of the queue, if any."""
+        return self.queue[0] if self.queue else None
+
+    def push(self, flit: Flit, cycle: int) -> None:
+        """Buffer write.  Allocates the VC to the packet on a header flit."""
+        if len(self.queue) >= self.depth:
+            raise OverflowError(
+                f"VC overflow (vnet={self.vnet}, vc={self.vc_index}): "
+                f"credit protocol violated by {flit!r}"
+            )
+        if flit.is_header:
+            if not self.is_idle:
+                raise RuntimeError(
+                    f"header flit {flit!r} arrived into busy VC holding "
+                    f"packet {self.active_pid} (wormhole interleaving)"
+                )
+            self.active_pid = flit.packet.pid
+        elif flit.packet.pid != self.active_pid:
+            raise RuntimeError(
+                f"body flit {flit!r} arrived into VC allocated to packet "
+                f"{self.active_pid} (wormhole interleaving)"
+            )
+        flit.arrival_cycle = cycle
+        self.queue.append(flit)
+
+    def pop(self) -> Flit:
+        """Remove the front flit; resets the VC to IDLE after the tail."""
+        flit = self.queue.popleft()
+        if flit.is_tail:
+            self.active_pid = -1
+            self.out_port = None
+            self.out_vc = -1
+            self.popup_tagged = False
+        return flit
+
+    def __repr__(self) -> str:
+        return (
+            f"VC(vnet={self.vnet}, idx={self.vc_index}, "
+            f"occ={len(self.queue)}/{self.depth}, pid={self.active_pid})"
+        )
+
+
+class InputPort:
+    """The set of input VCs of one router port, grouped by VNet."""
+
+    __slots__ = ("port", "n_vnets", "vcs_per_vnet", "vcs")
+
+    def __init__(self, port: Port, n_vnets: int, vcs_per_vnet: int, depth: int):
+        self.port = port
+        self.n_vnets = n_vnets
+        self.vcs_per_vnet = vcs_per_vnet
+        self.vcs = [
+            VirtualChannel(vc // vcs_per_vnet, vc, depth)
+            for vc in range(n_vnets * vcs_per_vnet)
+        ]
+
+    def vnet_vcs(self, vnet: int):
+        """The VC slice belonging to one VNet."""
+        base = vnet * self.vcs_per_vnet
+        return self.vcs[base : base + self.vcs_per_vnet]
+
+    def occupied(self):
+        """VCs currently holding at least one flit."""
+        return [vc for vc in self.vcs if vc.queue]
+
+    @property
+    def total_occupancy(self) -> int:
+        """Flits buffered across all of this port's VCs."""
+        return sum(len(vc.queue) for vc in self.vcs)
+
+
+class OutputPort:
+    """Credit and allocation state for one output port.
+
+    ``credits[vc]`` counts free slots in the downstream input VC;
+    ``vc_busy[vc]`` is True while the VC is allocated to an in-flight packet
+    (cleared when the downstream VC drains its tail and returns a
+    ``vc_free`` credit).
+    """
+
+    __slots__ = ("port", "credits", "vc_busy", "vc_owner", "n_vnets", "vcs_per_vnet")
+
+    def __init__(self, port: Port, n_vnets: int, vcs_per_vnet: int, depth: int):
+        self.port = port
+        self.n_vnets = n_vnets
+        self.vcs_per_vnet = vcs_per_vnet
+        n_vcs = n_vnets * vcs_per_vnet
+        self.credits = [depth] * n_vcs
+        self.vc_busy = [False] * n_vcs
+        #: pid of the packet the VC is allocated to (diagnostics only).
+        self.vc_owner = [-1] * n_vcs
+
+    def free_vcs(self, vnet: int, need: int = 1):
+        """Output VCs of ``vnet`` that are IDLE downstream and hold at
+        least ``need`` credits (``need > 1`` implements virtual
+        cut-through's whole-packet admission)."""
+        base = vnet * self.vcs_per_vnet
+        return [
+            vc
+            for vc in range(base, base + self.vcs_per_vnet)
+            if not self.vc_busy[vc] and self.credits[vc] >= need
+        ]
+
+    def allocate(self, vc: int, owner_pid: int = -1) -> None:
+        """Reserve an output VC for one packet (the VCS stage)."""
+        if self.vc_busy[vc]:
+            raise RuntimeError(f"output VC {vc} double-allocated")
+        self.vc_busy[vc] = True
+        self.vc_owner[vc] = owner_pid
+
+    def consume_credit(self, vc: int) -> None:
+        """Spend one downstream buffer slot (flit departure)."""
+        if self.credits[vc] <= 0:
+            raise RuntimeError(f"credit underflow on output VC {vc}")
+        self.credits[vc] -= 1
+
+    def return_credit(self, vc: int, vc_free: bool) -> None:
+        """Credit return; ``vc_free`` also releases the VC allocation."""
+        self.credits[vc] += 1
+        if vc_free:
+            self.vc_busy[vc] = False
+            self.vc_owner[vc] = -1
+
+
+class Credit:
+    """A credit message travelling upstream over a link (1-cycle latency)."""
+
+    __slots__ = ("vc", "vc_free")
+
+    def __init__(self, vc: int, vc_free: bool):
+        self.vc = vc
+        self.vc_free = vc_free
+
+    def __repr__(self) -> str:
+        return f"Credit(vc={self.vc}, free={self.vc_free})"

@@ -1,0 +1,79 @@
+"""Links: 1-cycle (configurable) pipelined channels between routers.
+
+A :class:`Link` carries flits downstream and credits upstream.  Both
+directions are modelled as delivery-time-stamped FIFOs drained by the
+network at the start of each cycle, which keeps router evaluation
+order-independent: everything a router sends during cycle *t* becomes
+visible to its neighbour no earlier than cycle *t + latency*.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.noc.flit import OPPOSITE, Port
+
+
+class Link:
+    """A unidirectional router-to-router channel with its credit return path.
+
+    ``src_port`` is the output port on the upstream router; the flit enters
+    the downstream router through ``OPPOSITE[src_port]``.  Vertical links
+    (chiplet ``DOWN`` <-> interposer ``UP``) use the same class.
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "src_port",
+        "dst_port",
+        "latency",
+        "_flits",
+        "_credits",
+        "flits_carried",
+        "faulty",
+    )
+
+    def __init__(self, src: int, dst: int, src_port: Port, latency: int = 1):
+        self.src = src
+        self.dst = dst
+        self.src_port = src_port
+        self.dst_port = OPPOSITE[src_port]
+        if latency < 1:
+            raise ValueError("link latency must be >= 1 cycle")
+        self.latency = latency
+        self._flits: deque = deque()  # (deliver_cycle, flit, out_vc)
+        self._credits: deque = deque()  # (deliver_cycle, Credit)
+        self.flits_carried = 0
+        self.faulty = False
+
+    def send_flit(self, flit, out_vc: int, cycle: int) -> None:
+        """Enqueue a flit departing the upstream switch at ``cycle`` (ST);
+        it is buffer-written downstream at ``cycle + latency`` (LT)."""
+        if self.faulty:
+            raise RuntimeError(f"flit sent over faulty link {self.src}->{self.dst}")
+        self._flits.append((cycle + self.latency, flit, out_vc))
+        self.flits_carried += 1
+
+    def send_credit(self, credit, cycle: int) -> None:
+        """Send a credit upstream (same latency as the data path)."""
+        self._credits.append((cycle + self.latency, credit))
+
+    def deliver_flits(self, cycle: int):
+        """Yield ``(flit, out_vc)`` pairs whose latency has elapsed."""
+        while self._flits and self._flits[0][0] <= cycle:
+            _, flit, out_vc = self._flits.popleft()
+            yield flit, out_vc
+
+    def deliver_credits(self, cycle: int):
+        """Yield credits whose latency has elapsed."""
+        while self._credits and self._credits[0][0] <= cycle:
+            yield self._credits.popleft()[1]
+
+    @property
+    def in_flight(self) -> int:
+        """Flits currently traversing the link."""
+        return len(self._flits)
+
+    def __repr__(self) -> str:
+        return f"Link({self.src}->{self.dst} via {self.src_port.name})"

@@ -1,0 +1,228 @@
+"""The runtime network: routers, NIs and links built from a topology.
+
+Cycle semantics (order-independent router evaluation):
+
+1. **Delivery** — every link hands over the flits/credits whose latency
+   has elapsed (buffer write at the receiver).
+2. **Router evaluation** — popup forwarding, signal transport, switch
+   allocation; all effects go into link pipelines only.
+3. **NI evaluation** — ejection/reassembly, endpoint (PE) work, injection.
+4. **Scheme evaluation** — UPP deadlock detection runs here, after the
+   cycle's movements are known.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.noc.config import NocConfig
+from repro.noc.flit import Port
+from repro.noc.link import Link
+from repro.noc.ni import NetworkInterface
+from repro.noc.router import Router, RouterKind
+from repro.topology.chiplet import SystemTopology
+
+
+class Network:
+    """A complete chiplet-based system instance."""
+
+    def __init__(
+        self,
+        topo: SystemTopology,
+        cfg: Optional[NocConfig] = None,
+        scheme=None,
+        rng: Optional[random.Random] = None,
+        chiplet_cfgs: Optional[Dict[int, NocConfig]] = None,
+    ):
+        """``chiplet_cfgs`` optionally overrides the network configuration
+        per chiplet id (use -1 for the interposer): VC counts and buffer
+        depths may differ per chiplet — the paper's *VC modularity*
+        property — while packet formats and VNet count stay global."""
+        self.topo = topo
+        self.cfg = cfg if cfg is not None else NocConfig()
+        self.chiplet_cfgs = chiplet_cfgs or {}
+        for chiplet_cfg in self.chiplet_cfgs.values():
+            if chiplet_cfg.n_vnets != self.cfg.n_vnets:
+                raise ValueError(
+                    "VNet count is a system-wide protocol property and "
+                    "cannot vary per chiplet"
+                )
+        self.rng = rng if rng is not None else random.Random(self.cfg.seed)
+        self.scheme = scheme
+        self.cycle = 0
+        #: monotone counter of flit link-traversals; the simulator's
+        #: deadlock watchdog watches it for forward progress.
+        self.activity = 0
+        self.link_traversals = 0
+
+        self.routers: Dict[int, Router] = {}
+        self.nis: Dict[int, NetworkInterface] = {}
+        self.links: List[Link] = []
+        self._router_links: List[Link] = []
+        self._ni_down_links: List[Link] = []  # router -> NI
+        self._ni_up_links: List[Link] = []  # NI -> router
+
+        self._build()
+        if scheme is not None:
+            self.routing = scheme.build_routing(topo, self.cfg, self.rng)
+            scheme.attach(self)
+        else:
+            from repro.schemes.none import UnprotectedScheme
+
+            self.scheme = UnprotectedScheme()
+            self.routing = self.scheme.build_routing(topo, self.cfg, self.rng)
+            self.scheme.attach(self)
+        for router in self.routers.values():
+            router.routing = self.routing
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def router_cfg(self, rid: int) -> NocConfig:
+        """The configuration governing one router's buffers (per-chiplet
+        override, or the system default)."""
+        return self.chiplet_cfgs.get(self.topo.chiplet_of[rid], self.cfg)
+
+    def _build(self) -> None:
+        topo, cfg = self.topo, self.cfg
+        for rid in range(topo.n_routers):
+            kind = (
+                RouterKind.INTERPOSER
+                if topo.is_interposer(rid)
+                else RouterKind.CHIPLET
+            )
+            router = Router(
+                rid, kind, topo.coords[rid], topo.chiplet_of[rid], self.router_cfg(rid)
+            )
+            router._rng = self.rng
+            self.routers[rid] = router
+
+        for spec in topo.links:
+            if (spec.src, spec.dst) in topo.faulty:
+                continue
+            link = Link(spec.src, spec.dst, spec.src_port, cfg.link_latency)
+            link.dst_port = spec.dst_port
+            src, dst = self.routers[spec.src], self.routers[spec.dst]
+            # the output port mirrors the *downstream* router's input VCs:
+            # this is the credit interface that lets chiplets with
+            # different VC counts interoperate (VC modularity, Table I)
+            src.add_output(spec.src_port, peer_cfg=dst.cfg)
+            src.out_links[spec.src_port] = link
+            dst.add_input(spec.dst_port)
+            dst.in_links[spec.dst_port] = link
+            self.links.append(link)
+            self._router_links.append(link)
+            if spec.src_port == Port.DOWN:
+                src.is_boundary = True
+
+        # NIs on every router
+        for rid, router in self.routers.items():
+            ni = NetworkInterface(rid, router.cfg, self.rng)
+            up = Link(rid, rid, Port.LOCAL, cfg.ni_link_latency)
+            down = Link(rid, rid, Port.LOCAL, cfg.ni_link_latency)
+            router.add_input(Port.LOCAL)
+            router.add_output(Port.LOCAL)
+            router.in_links[Port.LOCAL] = up
+            router.out_links[Port.LOCAL] = down
+            ni.attach(router, up, down)
+            self.nis[rid] = ni
+            self.links.append(up)
+            self.links.append(down)
+            self._ni_up_links.append(up)
+            self._ni_down_links.append(down)
+
+    # ------------------------------------------------------------------ #
+    # per-cycle evaluation
+
+    def step(self) -> None:
+        """Advance the whole system by one cycle (see module docstring
+        for the phase order)."""
+        cycle = self.cycle
+        self._deliver(cycle)
+        for router in self.routers.values():
+            router.step(cycle)
+        for ni in self.nis.values():
+            ni.step(cycle)
+        if self.scheme is not None:
+            self.scheme.post_cycle(self, cycle)
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Advance by ``cycles`` cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def _deliver(self, cycle: int) -> None:
+        for link in self._router_links:
+            if link._flits:
+                dst = self.routers[link.dst]
+                for flit, out_vc in link.deliver_flits(cycle):
+                    dst.receive_flit(flit, out_vc, link.dst_port, cycle)
+                    self.activity += 1
+                    self.link_traversals += 1
+            if link._credits:
+                src = self.routers[link.src]
+                for credit in link.deliver_credits(cycle):
+                    src.receive_credit(link.src_port, credit)
+        for link in self._ni_up_links:  # NI -> router LOCAL input
+            if link._flits:
+                dst = self.routers[link.dst]
+                for flit, out_vc in link.deliver_flits(cycle):
+                    dst.receive_flit(flit, out_vc, Port.LOCAL, cycle)
+                    self.activity += 1
+            if link._credits:
+                ni = self.nis[link.src]
+                for credit in link.deliver_credits(cycle):
+                    ni.receive_credit(credit)
+        for link in self._ni_down_links:  # router LOCAL output -> NI
+            if link._flits:
+                ni = self.nis[link.dst]
+                for flit, out_vc in link.deliver_flits(cycle):
+                    ni.receive_flit(flit, out_vc, cycle)
+                    self.activity += 1
+            if link._credits:
+                router = self.routers[link.src]
+                for credit in link.deliver_credits(cycle):
+                    router.receive_credit(Port.LOCAL, credit)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def occupancy(self) -> int:
+        """Flits resident anywhere in the system, including messages still
+        waiting in NI injection queues (watchdog / drain check)."""
+        total = sum(r.occupancy() for r in self.routers.values())
+        total += sum(link.in_flight for link in self.links)
+        for ni in self.nis.values():
+            total += ni.in_port.total_occupancy
+            total += len(ni._stream_flits)
+            total += sum(len(v) for v in ni._assembly.values())
+            total += sum(len(v) for v in ni._popup_assembly)
+            total += sum(sum(p.size for p in q) for q in ni.injection_queues)
+        return total
+
+    def in_network_flits(self) -> int:
+        """Flits in routers/links (excludes NI queues)."""
+        total = sum(r.occupancy() for r in self.routers.values())
+        total += sum(link.in_flight for link in self._router_links)
+        return total
+
+    def drain(self, max_cycles: int = 100_000) -> bool:
+        """Run with no new injection until the network empties.  Returns
+        True if drained, False if occupancy stopped changing (deadlock)."""
+        idle = 0
+        last_activity = self.activity
+        while self.occupancy() > 0:
+            self.step()
+            if self.activity == last_activity:
+                idle += 1
+                if idle > 2000:
+                    return False
+            else:
+                idle = 0
+                last_activity = self.activity
+            max_cycles -= 1
+            if max_cycles <= 0:
+                return False
+        return True

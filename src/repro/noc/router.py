@@ -1,0 +1,520 @@
+"""The router microarchitecture (paper Fig. 5 / Fig. 6).
+
+Pipeline for normal flits: buffer write + route computation (BW/RC), switch
+allocation + VC selection (SA/VCS), switch traversal (ST), link traversal
+(LT).  UPP protocol signals take the same pipeline but live in dedicated
+signal buffers and win SA with priority; upward (popup) flits bypass
+buffers and SA entirely, taking a single ST stage per hop over the circuit
+recorded by the preceding ``UPP_req`` (Sec. V-C).
+
+A router only mutates its own state plus outgoing link queues during
+:meth:`step`, so the network may evaluate routers in any order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import IntEnum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.buffer import Credit, InputPort, OutputPort
+from repro.noc.config import NocConfig
+from repro.noc.flit import Flit, FlitKind, Port, SignalFlit, UPWARD_PORTS
+
+#: route(router, in_port, dst_node, src_node) -> output Port
+RouteFn = Callable[["Router", Port, int, int], Port]
+
+
+class RouterKind(IntEnum):
+    """Which layer a router belongs to."""
+
+    CHIPLET = 0
+    INTERPOSER = 1
+
+
+class EnergyCounters:
+    """Per-router activity counters feeding the DSENT-style energy model."""
+
+    __slots__ = ("buffer_writes", "buffer_reads", "xbar_traversals", "sa_arbitrations")
+
+    def __init__(self) -> None:
+        self.buffer_writes = 0
+        self.buffer_reads = 0
+        self.xbar_traversals = 0
+        self.sa_arbitrations = 0
+
+    def snapshot(self) -> dict:
+        """Counter values as a plain dict (energy model input)."""
+        return {
+            "buffer_writes": self.buffer_writes,
+            "buffer_reads": self.buffer_reads,
+            "xbar_traversals": self.xbar_traversals,
+            "sa_arbitrations": self.sa_arbitrations,
+        }
+
+
+class Router:
+    """One mesh router (chiplet or interposer).
+
+    Scheme-specific controllers are attached after construction:
+
+    * ``upp``       — :class:`repro.core.popup.InterposerPopupUnit` on
+      interposer routers when UPP is enabled.
+    * ``upp_tables``— :class:`repro.core.circuit.ChipletCircuitTable` on
+      chiplet routers when UPP is enabled.
+    * ``rc_unit``   — :class:`repro.schemes.remote_control.BoundaryBufferUnit`
+      on boundary routers when remote control is enabled.
+    """
+
+    def __init__(
+        self,
+        rid: int,
+        kind: RouterKind,
+        coords: Tuple[int, int],
+        chiplet_id: int,
+        cfg: NocConfig,
+    ):
+        self.rid = rid
+        self.kind = kind
+        self.coords = coords
+        #: chiplet index, or -1 for interposer routers.
+        self.chiplet_id = chiplet_id
+        self.cfg = cfg
+
+        self.in_ports: Dict[Port, InputPort] = {}
+        self.out_ports: Dict[Port, OutputPort] = {}
+        self.out_links: Dict[Port, object] = {}
+        self.in_links: Dict[Port, object] = {}
+        self.routing: Optional[RouteFn] = None
+        self.ni = None
+
+        #: True for chiplet routers with a DOWN vertical link.
+        self.is_boundary = False
+
+        # --- UPP datapath additions (Fig. 6) ---
+        #: dedicated UPP_req / UPP_stop buffer (32-bit in hardware).
+        self.sig_req_stop: deque = deque()
+        #: dedicated UPP_ack buffer.
+        self.sig_ack: deque = deque()
+        self.sig_high_water = 0
+        #: chiplet circuit table, set by the UPP scheme.
+        self.upp_tables = None
+        #: interposer popup unit, set by the UPP scheme.
+        self.upp = None
+        #: remote-control boundary buffer unit.
+        self.rc_unit = None
+
+        # popup flits delivered this cycle, forwarded during step().
+        self._popup_in: List[Tuple[Flit, Port]] = []
+        #: tokens whose held UPP_req was cancelled by a passing UPP_stop.
+        self._cancelled_tokens: set = set()
+
+        self._in_arbiters: Dict[Port, RoundRobinArbiter] = {}
+        self._out_arbiters: Dict[Port, RoundRobinArbiter] = {}
+        self._used_in: set = set()
+        self._used_out: set = set()
+        #: per-VNet flag: a flit left through UP this cycle (UPP detection).
+        self.sent_up = [False] * cfg.n_vnets
+        #: per-VNet flag: some eligible flit wanted UP but could not move.
+        self.stalled_up = [False] * cfg.n_vnets
+
+        self.energy = EnergyCounters()
+        self._rng = None  # set by the network (shared seeded RNG)
+        #: False when the router provably has nothing to do this cycle
+        #: (no buffered flits, signals or popup work) — lets the network
+        #: skip idle routers so per-cycle cost scales with traffic.
+        self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # construction helpers (called by the network builder)
+
+    def add_input(self, port: Port) -> None:
+        """Create the buffered input side of one port."""
+        self.in_ports[port] = InputPort(
+            port, self.cfg.n_vnets, self.cfg.vcs_per_vnet, self.cfg.vc_depth
+        )
+        self._in_arbiters[port] = RoundRobinArbiter(self.cfg.n_vcs)
+
+    def add_output(self, port: Port, peer_cfg: Optional[NocConfig] = None) -> None:
+        """Create the credit state for one output port, sized by the
+        downstream router's input VCs (``peer_cfg``; defaults to this
+        router's own configuration)."""
+        peer = peer_cfg if peer_cfg is not None else self.cfg
+        self.out_ports[port] = OutputPort(
+            port, peer.n_vnets, peer.vcs_per_vnet, peer.vc_depth
+        )
+
+    # ------------------------------------------------------------------ #
+    # delivery phase (network drains links into routers)
+
+    def receive_flit(self, flit, vc: int, in_port: Port, cycle: int) -> None:
+        """Buffer-write stage for an arriving flit or signal."""
+        self._dirty = True
+        if isinstance(flit, SignalFlit):
+            self._receive_signal(flit, in_port, cycle)
+            return
+        if flit.popup:
+            # upward flit: bypasses buffers, forwarded via circuit in step()
+            self._popup_in.append((flit, in_port))
+            return
+        if self.rc_unit is not None and in_port == Port.DOWN:
+            # remote control absorbs inbound inter-chiplet packets into the
+            # per-VNet boundary buffers when their class has space (credit
+            # returns immediately); otherwise the packet parks in the
+            # normal input VCs, excluded from switch allocation, and is
+            # pulled into a buffer as soon as one frees — the isolation
+            # that makes the scheme deadlock-free.
+            self.rc_unit.absorb(flit, cycle)
+            self._return_credit(in_port, vc, flit.is_tail, cycle)
+            self.energy.buffer_writes += 1
+            return
+        self.in_ports[in_port].vcs[vc].push(flit, cycle)
+        self.energy.buffer_writes += 1
+
+    def _receive_signal(self, sig: SignalFlit, in_port: Port, cycle: int) -> None:
+        if sig.kind == FlitKind.UPP_REQ:
+            sig.path.append((self.rid, in_port))
+        buf = self.sig_ack if sig.kind == FlitKind.UPP_ACK else self.sig_req_stop
+        buf.append((sig, in_port, cycle))
+        occupancy = len(self.sig_req_stop) + len(self.sig_ack)
+        if occupancy > self.sig_high_water:
+            self.sig_high_water = occupancy
+        if occupancy > self.cfg.signal_buffer_capacity:
+            raise OverflowError(
+                f"UPP signal buffer overflow at router {self.rid}: the "
+                f"Sec. V-B5 contention-avoidance rules were violated"
+            )
+
+    def inject_signal(self, sig: SignalFlit, cycle: int) -> None:
+        """Enqueue a locally generated signal (popup unit / NI ack)."""
+        self._dirty = True
+        self._receive_signal(sig, Port.LOCAL, cycle)
+
+    def wake(self) -> None:
+        """Force evaluation on the next cycle.  Needed only when state is
+        planted directly into buffers (tests, diagnostics) instead of
+        arriving through :meth:`receive_flit`."""
+        self._dirty = True
+
+    def receive_credit(self, port: Port, credit: Credit) -> None:
+        """Apply a returned credit to the output port's bookkeeping."""
+        self.out_ports[port].return_credit(credit.vc, credit.vc_free)
+
+    # ------------------------------------------------------------------ #
+    # main per-cycle evaluation
+
+    def step(self, cycle: int) -> None:
+        """One cycle of router evaluation: popup forwarding, signal
+        transport, then switch allocation (skipped entirely when idle)."""
+        if not self._dirty:
+            return  # idle: flags were reset when the router went quiet
+        self._used_in.clear()
+        self._used_out.clear()
+        for v in range(self.cfg.n_vnets):
+            self.sent_up[v] = False
+            self.stalled_up[v] = False
+
+        # 1. upward (popup) flit forwarding — highest priority (Sec. V-C1).
+        if self._popup_in:
+            self._forward_popup_flits(cycle)
+
+        # 2. interposer popup unit may emit popup flits from the selected VC;
+        #    chiplet routers drain a popup-tagged VC (partly-transmitted
+        #    upward packets, Sec. V-B3) through their circuits.
+        if self.upp is not None:
+            self.upp.pre_switch(self, cycle)
+        if self.upp_tables is not None:
+            self.upp_tables.drain_tagged(self, cycle)
+
+        # 3. protocol signals — priority over normal flits in SA.
+        self._process_signals(cycle)
+
+        # 4. remote-control boundary re-injection competes as an input.
+        # 5. normal switch allocation.
+        self._switch_allocation(cycle)
+
+        # quiesce check: drop the dirty flag when nothing is left to do
+        if (
+            not self.sig_req_stop
+            and not self.sig_ack
+            and not self._popup_in
+            and (self.rc_unit is None or self.rc_unit.occupancy() == 0)
+            and (self.upp_tables is None or not self.upp_tables.has_state())
+            and not any(
+                vc.queue for ip in self.in_ports.values() for vc in ip.vcs
+            )
+        ):
+            self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # popup datapath
+
+    def _forward_popup_flits(self, cycle: int) -> None:
+        popups, self._popup_in = self._popup_in, []
+        for flit, in_port in popups:
+            if self.ni is not None and flit.packet.dst == self.rid:
+                # circuit terminates here: straight into the reserved
+                # ejection-queue entry.
+                self.ni.eject_popup_flit(flit, cycle)
+                self.energy.xbar_traversals += 1
+                self._used_out.add(Port.LOCAL)
+                self._used_in.add(in_port)
+                if flit.is_tail and self.upp_tables is not None:
+                    self.upp_tables.release(flit.packet.vnet, in_port)
+                continue
+            out_port = None
+            if self.upp_tables is not None:
+                out_port = self.upp_tables.circuit_out(flit.packet.vnet, in_port)
+            if out_port is None:
+                raise RuntimeError(
+                    f"popup flit {flit!r} arrived at router {self.rid} with "
+                    f"no circuit recorded for vnet {flit.packet.vnet}"
+                )
+            self._used_in.add(in_port)
+            self._used_out.add(out_port)
+            self.energy.xbar_traversals += 1
+            # single ST stage: departs this cycle, LT delivers next cycle.
+            self.out_links[out_port].send_flit(flit, 0, cycle)
+            if flit.seq == 0:
+                flit.packet.hops += 1
+            if flit.is_tail and self.upp_tables is not None:
+                self.upp_tables.release(flit.packet.vnet, in_port)
+
+    def send_popup_flit(self, flit, out_port: Port, cycle: int) -> None:
+        """Emit a popup flit from this router (used by the interposer popup
+        unit and by chiplet routers draining a tagged VC)."""
+        flit.popup = True
+        self._used_out.add(out_port)
+        self.energy.xbar_traversals += 1
+        self.out_links[out_port].send_flit(flit, 0, cycle)
+        if flit.seq == 0:
+            flit.packet.hops += 1
+        flit.packet.popup_count += 1
+
+    # ------------------------------------------------------------------ #
+    # protocol signal transport
+
+    def _process_signals(self, cycle: int) -> None:
+        # UPP_ack follows the reverse path of its req; req/stop attend
+        # normal route computation.  Both get SA priority: they claim output
+        # ports before normal flits are considered.  Each buffer dispatches
+        # at most one signal per cycle (serial transmission, Sec. V-B5); a
+        # held signal (circuit busy) does not block the ones behind it.
+        eligible = cycle - self.cfg.sa_eligibility_delay
+        for buf in (self.sig_ack, self.sig_req_stop):
+            for idx, (sig, in_port, arrival) in enumerate(buf):
+                if arrival > eligible:
+                    continue
+                if self._dispatch_signal(sig, in_port, cycle):
+                    del buf[idx]
+                    break
+
+    def _dispatch_signal(self, sig: SignalFlit, in_port: Port, cycle: int) -> bool:
+        """Try to move the front signal one hop; returns True if consumed."""
+        if sig.kind == FlitKind.UPP_REQ and sig.token in self._cancelled_tokens:
+            # this req was held here when its attempt's UPP_stop passed:
+            # the attempt is dead, drop the req instead of re-reserving
+            self._cancelled_tokens.discard(sig.token)
+            return True
+        if sig.kind == FlitKind.UPP_STOP:
+            held = any(
+                s.kind == FlitKind.UPP_REQ and s.token == sig.token
+                for s, _p, _a in self.sig_req_stop
+            )
+            if held:
+                self._cancelled_tokens.add(sig.token)
+        # terminal conditions are handled by the UPP controllers
+        if self.upp_tables is not None:
+            verdict = self.upp_tables.on_signal(self, sig, in_port, cycle)
+            if verdict == "consume":
+                return True
+            if verdict == "hold":
+                return False
+        if self.upp is not None and sig.kind == FlitKind.UPP_ACK:
+            # ack returned home to the interposer router
+            self.upp.on_ack(self, sig, cycle)
+            return True
+        if self.ni is not None and sig.dst == self.rid and sig.kind != FlitKind.UPP_ACK:
+            self.ni.receive_signal(sig, cycle)
+            return True
+        out_port = self._signal_out_port(sig, in_port)
+        if out_port is None:
+            return True  # undeliverable (stale reverse path); drop
+        if out_port in self._used_out:
+            return False  # delayed one cycle by a popup flit (Sec. V-C1)
+        self._used_out.add(out_port)
+        self.energy.xbar_traversals += 1
+        self.out_links[out_port].send_flit(sig, 0, cycle + 1)
+        return True
+
+    def _signal_out_port(self, sig: SignalFlit, in_port: Port) -> Optional[Port]:
+        if sig.kind == FlitKind.UPP_ACK:
+            # follow the reverse of the recorded req path
+            return self._reverse_hop(sig)
+        if sig.dst == self.rid:
+            return Port.LOCAL
+        return self.routing(self, in_port, sig.dst, -1)
+
+    def _reverse_hop(self, sig: SignalFlit) -> Optional[Port]:
+        # sig.path holds (router, in_port) pairs recorded on the forward
+        # trip of the corresponding req, copied into the ack when the NI
+        # generated it; pop the most recent hop to retrace the route.
+        while sig.path:
+            rid, fwd_in_port = sig.path.pop()
+            if rid == self.rid:
+                return fwd_in_port
+        return None
+
+    # ------------------------------------------------------------------ #
+    # switch allocation for normal flits
+
+    def _switch_allocation(self, cycle: int) -> None:
+        """Separable two-stage allocation: each input port nominates one VC
+        (input-stage round robin), then each output port grants one of the
+        nominating inputs via a persistent round-robin arbiter.  The
+        persistent output pointers are what guarantee every contender is
+        served — without them, convoys resonate and starve."""
+        eligible_cycle = cycle - self.cfg.sa_eligibility_delay
+        n_vnets = self.cfg.n_vnets
+
+        nominations: Dict[Port, List[Tuple[Port, object]]] = {}
+        for in_port, iport in self.in_ports.items():
+            if in_port in self._used_in:
+                # still record upward stalls for detection fidelity
+                self._note_up_stalls(iport, eligible_cycle)
+                continue
+            granted_vc = self._grant_input(iport, in_port, eligible_cycle, cycle)
+            if granted_vc is not None:
+                vc = iport.vcs[granted_vc]
+                nominations.setdefault(vc.out_port, []).append((in_port, vc))
+
+        for out_port, contenders in nominations.items():
+            if len(contenders) == 1:
+                in_port, vc = contenders[0]
+            else:
+                arbiter = self._out_arbiters.setdefault(
+                    out_port, RoundRobinArbiter(len(Port))
+                )
+                winner = arbiter.grant_from(int(p) for p, _vc in contenders)
+                in_port, vc = next(
+                    (p, v) for p, v in contenders if int(p) == winner
+                )
+            self._traverse(in_port, vc, cycle)
+
+        # remote-control boundary buffers re-inject with the lowest
+        # priority, after the regular input ports (their packets attend
+        # the extra allocation stage the paper charges one cycle for)
+        if self.rc_unit is not None:
+            self.rc_unit.reinject(self, cycle)
+
+        # expose upward-stall observability for UPP detection
+        if self.upp is not None:
+            for v in range(n_vnets):
+                self.upp.observe(v, self.stalled_up[v], self.sent_up[v])
+
+    def _note_up_stalls(self, iport: InputPort, eligible_cycle: int) -> None:
+        for vc in iport.vcs:
+            if not vc.queue:
+                continue
+            flit = vc.queue[0]
+            if flit.arrival_cycle <= eligible_cycle and vc.out_port in UPWARD_PORTS:
+                self.stalled_up[vc.vnet] = True
+
+    def _grant_input(
+        self, iport: InputPort, in_port: Port, eligible_cycle: int, cycle: int
+    ) -> Optional[int]:
+        """Pick one requesting VC of this input port (round robin) whose
+        output resources are available; claim the output port."""
+        requests = []
+        for vc in iport.vcs:
+            if not vc.queue:
+                continue
+            if vc.popup_tagged:
+                # a UPP_req marked this VC as a popup start point; its
+                # flits leave exclusively through the circuit drain, or the
+                # packet would be split across two datapaths
+                continue
+            flit = vc.queue[0]
+            if flit.arrival_cycle > eligible_cycle:
+                continue
+            if vc.out_port is None:
+                # route computation (performed at BW in hardware; computing
+                # lazily here is equivalent since the result is cached)
+                vc.out_port = self.routing(
+                    self, in_port, flit.packet.dst, flit.packet.src
+                )
+            out_port = vc.out_port
+            blocked = self._output_blocked(vc, out_port, flit)
+            if out_port in UPWARD_PORTS and (blocked or out_port in self._used_out):
+                self.stalled_up[vc.vnet] = True
+            if blocked or out_port in self._used_out:
+                continue
+            requests.append(vc.vc_index)
+        if not requests:
+            return None
+        self.energy.sa_arbitrations += 1
+        granted = self._in_arbiters[in_port].grant_from(requests)
+        return granted
+
+    def _output_blocked(self, vc, out_port: Port, flit) -> bool:
+        """True if the flit cannot take its output this cycle for credit /
+        VC-availability reasons (or scheme-specific holds)."""
+        oport = self.out_ports[out_port]
+        if self.upp is not None and out_port in UPWARD_PORTS:
+            if self.upp.holds_vc(vc):
+                # this VC is the selected upward packet being popped up /
+                # awaiting ack; its flits leave through the popup unit only.
+                return True
+        if vc.out_vc >= 0:
+            return oport.credits[vc.out_vc] <= 0
+        # header flit: needs VC selection — any free+credited VC in vnet;
+        # virtual cut-through additionally demands room for the whole
+        # packet so a worm never spans two routers
+        need = flit.packet.size if self.cfg.flow_control == "vct" else 1
+        return not oport.free_vcs(vc.vnet, need)
+
+    def _traverse(self, in_port: Port, vc, cycle: int) -> None:
+        """ST for one granted flit: VC selection (headers), credit update,
+        link dispatch, upstream credit return."""
+        out_port = vc.out_port
+        oport = self.out_ports[out_port]
+        flit = vc.queue[0]
+        if vc.out_vc < 0:
+            free = oport.free_vcs(vc.vnet)
+            vc.out_vc = self._rng.choice(free) if len(free) > 1 else free[0]
+            oport.allocate(vc.out_vc, flit.packet.pid)
+        out_vc = vc.out_vc
+        oport.consume_credit(out_vc)
+        flit = vc.pop()
+        self.energy.buffer_reads += 1
+        self.energy.xbar_traversals += 1
+        self._used_in.add(in_port)
+        self._used_out.add(out_port)
+        if out_port in UPWARD_PORTS:
+            self.sent_up[flit.packet.vnet] = True
+            if self.upp is not None:
+                self.upp.on_normal_up_departure(self, flit, cycle)
+        # ST occupies the next cycle; LT delivers the cycle after.
+        self.out_links[out_port].send_flit(flit, out_vc, cycle + 1)
+        if flit.seq == 0:
+            flit.packet.hops += 1
+        self._return_credit(in_port, vc.vc_index, flit.is_tail, cycle)
+
+    def _return_credit(self, in_port: Port, vc_index: int, vc_free: bool, cycle: int) -> None:
+        link = self.in_links.get(in_port)
+        if link is not None:
+            link.send_credit(Credit(vc_index, vc_free), cycle)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def occupancy(self) -> int:
+        """Total buffered flits (used by the deadlock watchdog)."""
+        total = sum(p.total_occupancy for p in self.in_ports.values())
+        if self.rc_unit is not None:
+            total += self.rc_unit.occupancy()
+        return total
+
+    def __repr__(self) -> str:
+        return f"Router({self.rid}, {self.kind.name}, chiplet={self.chiplet_id})"

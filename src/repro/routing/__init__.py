@@ -1,0 +1,26 @@
+"""Routing: local algorithms, binding, hierarchy, CDG analysis."""
+
+from repro.routing.binding import binding_load, compute_binding
+from repro.routing.cdg import (
+    build_system_cdg,
+    cycles_all_contain_upward_channel,
+    is_deadlock_free,
+    route_channels,
+)
+from repro.routing.hierarchical import HierarchicalRouting
+from repro.routing.table import TableRouting
+from repro.routing.updown import build_updown_routing
+from repro.routing.xy import XYLocalRouting
+
+__all__ = [
+    "HierarchicalRouting",
+    "TableRouting",
+    "XYLocalRouting",
+    "binding_load",
+    "build_system_cdg",
+    "build_updown_routing",
+    "compute_binding",
+    "cycles_all_contain_upward_channel",
+    "is_deadlock_free",
+    "route_channels",
+]

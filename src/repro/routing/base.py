@@ -1,0 +1,113 @@
+"""Routing abstractions: local (per-layer) routing and turn models.
+
+The paper's routing algorithm (Sec. V-D) composes *local* routing inside
+each chiplet and inside the interposer with a static binding between
+chiplet routers and boundary routers.  Local routing is expressed here as
+an interface so each layer can use XY on healthy meshes and table-driven
+up*/down* on faulty ones — exactly the modular flexibility the paper
+claims for UPP.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Tuple
+
+from repro.noc.flit import Port
+
+#: mesh movement ports
+MESH_DIRS = (Port.NORTH, Port.SOUTH, Port.EAST, Port.WEST)
+
+
+class LocalRouting(Protocol):
+    """Routing within one layer (a chiplet's mesh or the interposer mesh)."""
+
+    def next_port(self, rid: int, in_port: Port, dst: int) -> Port:
+        """The output port toward ``dst`` (same layer as ``rid``)."""
+        ...
+
+
+class TurnModel:
+    """Predicate over (router, in_port, out_port) triples.
+
+    ``in_port`` is the side the flit *entered through* (so a flit that
+    entered via ``EAST`` is travelling westward).  Vertical and local ports
+    behave like injection/ejection points unless a subclass restricts them.
+    """
+
+    def allowed(self, rid: int, in_port: Port, out_port: Port) -> bool:
+        """Is the (in -> out) turn at router ``rid`` permitted?"""
+        raise NotImplementedError
+
+    def _no_u_turn(self, in_port: Port, out_port: Port) -> bool:
+        return in_port != out_port or in_port == Port.LOCAL
+
+
+class XYTurnModel(TurnModel):
+    """Dimension-order turn rules: X movement may turn into Y, never the
+    reverse.  Entry points (LOCAL / DOWN / UP) may start in any dimension;
+    exit points (LOCAL / DOWN / UP) are reachable from any dimension."""
+
+    _X_IN = (Port.EAST, Port.WEST)
+    _Y_IN = (Port.NORTH, Port.SOUTH)
+
+    def allowed(self, rid: int, in_port: Port, out_port: Port) -> bool:
+        if not self._no_u_turn(in_port, out_port):
+            return False
+        if in_port not in MESH_DIRS:
+            return True  # injection / vertical entry: any start direction
+        if out_port not in MESH_DIRS:
+            return True  # ejection / vertical exit
+        if in_port in self._Y_IN:
+            # moving in Y: may only continue straight
+            return out_port in self._Y_IN
+        # moving in X: straight or turn into Y
+        return True
+
+
+class RestrictedTurnModel(TurnModel):
+    """A base model minus an explicit set of (router, in, out) turns.
+
+    Used by composable routing: unidirectional turn restrictions placed on
+    boundary routers (Fig. 2a) on top of the chiplet's XY rules."""
+
+    def __init__(self, base: TurnModel, restrictions: Iterable[Tuple[int, Port, Port]]):
+        self.base = base
+        self.restrictions = frozenset(restrictions)
+
+    def allowed(self, rid: int, in_port: Port, out_port: Port) -> bool:
+        if (rid, in_port, out_port) in self.restrictions:
+            return False
+        return self.base.allowed(rid, in_port, out_port)
+
+
+class UpDownTurnModel(TurnModel):
+    """Up*/down* turn rules over a spanning tree of one layer.
+
+    A link is *up* when it points toward the root (lower ``(depth, rid)``);
+    legal paths take zero or more up links followed by zero or more down
+    links, i.e. the down->up turn is forbidden.  This is the
+    topology-agnostic local routing (ARIADNE-style) used on faulty layers.
+    """
+
+    def __init__(self, depth: dict, neighbor_of: dict):
+        #: depth[rid] in the BFS spanning tree
+        self.depth = depth
+        #: neighbor_of[(rid, port)] -> neighbour rid over a healthy link
+        self.neighbor_of = neighbor_of
+
+    def _is_up(self, src: int, dst: int) -> bool:
+        return (self.depth[dst], dst) < (self.depth[src], src)
+
+    def allowed(self, rid: int, in_port: Port, out_port: Port) -> bool:
+        if not self._no_u_turn(in_port, out_port):
+            return False
+        if in_port not in MESH_DIRS or out_port not in MESH_DIRS:
+            return True
+        prev = self.neighbor_of.get((rid, in_port))
+        nxt = self.neighbor_of.get((rid, out_port))
+        if prev is None or nxt is None:
+            return False  # faulty or absent link
+        # the link prev->rid is a down link iff it points away from the root
+        arrived_via_down = not self._is_up(prev, rid)
+        going_up = self._is_up(rid, nxt)
+        return not (arrived_via_down and going_up)

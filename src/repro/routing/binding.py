@@ -1,0 +1,53 @@
+"""Static binding between chiplet routers and boundary routers (Sec. V-D).
+
+Every chiplet router is bound to its closest boundary router (hop distance
+over the chiplet's healthy links); ties are broken by a seeded RNG, as in
+the paper ("randomly bound with one of them").  The binding is purely
+chiplet-local, preserving design modularity, and it guarantees the Sec.
+V-B5 property that all packets destined to the same chiplet router enter
+the chiplet through the same boundary router.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, List
+
+from repro.topology.chiplet import SystemTopology
+
+
+def _hop_distances(topo: SystemTopology, source: int) -> Dict[int, int]:
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        rid = frontier.popleft()
+        for nbr, _port in topo.layer_neighbors(rid):
+            if nbr not in dist:
+                dist[nbr] = dist[rid] + 1
+                frontier.append(nbr)
+    return dist
+
+
+def compute_binding(topo: SystemTopology, rng: random.Random) -> Dict[int, int]:
+    """Map every chiplet router to its bound boundary router."""
+    binding: Dict[int, int] = {}
+    for chiplet in range(topo.n_chiplets):
+        boundaries = topo.boundary_routers(chiplet)
+        if not boundaries:
+            raise ValueError(f"chiplet {chiplet} has no boundary routers")
+        dists = {b: _hop_distances(topo, b) for b in boundaries}
+        for rid in topo.chiplet_routers(chiplet):
+            best = min(dists[b].get(rid, 10**9) for b in boundaries)
+            closest = [b for b in boundaries if dists[b].get(rid, 10**9) == best]
+            binding[rid] = closest[0] if len(closest) == 1 else rng.choice(closest)
+    return binding
+
+
+def binding_load(topo: SystemTopology, binding: Dict[int, int]) -> Dict[int, int]:
+    """How many chiplet routers each boundary router serves — the load
+    balance the paper credits for UPP's throughput edge (Sec. VI-A)."""
+    load: Dict[int, int] = {b: 0 for b in topo.boundary_routers()}
+    for _rid, b in binding.items():
+        load[b] += 1
+    return load

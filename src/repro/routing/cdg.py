@@ -1,0 +1,89 @@
+"""Full-system channel-dependency-graph construction and analysis.
+
+Used by the test suite to verify the paper's framing end to end:
+
+* composable routing's restricted system CDG is **acyclic** (deadlock
+  avoidance holds globally, not only per chiplet);
+* the unrestricted Sec. V-D routing (used by UPP, remote control and the
+  unprotected baseline) has a **cyclic** CDG, and every cycle crosses an
+  upward vertical channel — the paper's key theorem that an
+  integration-induced deadlock always involves an upward packet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.noc.flit import OPPOSITE, Port, UPWARD_PORTS
+from repro.topology.chiplet import SystemTopology
+
+
+def _link_map(topo: SystemTopology) -> Dict[Tuple[int, Port], Tuple[int, Port]]:
+    """(src, src_port) -> (dst, dst_port) over healthy links."""
+    result = {}
+    for spec in topo.links:
+        if (spec.src, spec.dst) not in topo.faulty:
+            result[(spec.src, spec.src_port)] = (spec.dst, spec.dst_port)
+    return result
+
+
+def route_channels(network, src: int, dst: int) -> List[Tuple[int, Port]]:
+    """The (router, out_port) channel sequence of the route src -> dst."""
+    topo = network.topo
+    links = _link_map(topo)
+    channels = []
+    rid, in_port = src, Port.LOCAL
+    while rid != dst:
+        router = network.routers[rid]
+        out = network.routing(router, in_port, dst, src)
+        if out == Port.LOCAL:
+            break
+        channels.append((rid, out))
+        rid, in_port = links[(rid, out)]
+        if len(channels) > 4 * topo.n_routers:
+            raise RuntimeError(f"routing loop on {src} -> {dst}")
+    return channels
+
+
+def build_system_cdg(network, nodes: List[int] = None) -> nx.DiGraph:
+    """CDG over every routed (src, dst) pair among ``nodes`` (default: all
+    NIs, chiplet and interposer alike)."""
+    topo = network.topo
+    if nodes is None:
+        nodes = list(range(topo.n_routers))
+    graph = nx.DiGraph()
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            channels = route_channels(network, src, dst)
+            for a, b in zip(channels, channels[1:]):
+                graph.add_edge(a, b)
+            for c in channels:
+                graph.add_node(c)
+    return graph
+
+
+def is_deadlock_free(network, nodes: List[int] = None) -> bool:
+    """True iff the routed channel-dependency graph is acyclic."""
+    return nx.is_directed_acyclic_graph(build_system_cdg(network, nodes))
+
+
+def cycles_all_contain_upward_channel(network, max_cycles: int = 2000) -> bool:
+    """Verify the paper's Sec. IV theorem on this network's CDG: every
+    dependency cycle includes at least one upward vertical channel."""
+    graph = build_system_cdg(network)
+    topo = network.topo
+    checked = 0
+    for cycle in nx.simple_cycles(graph):
+        checked += 1
+        has_upward = any(
+            port in UPWARD_PORTS and topo.is_interposer(rid) for rid, port in cycle
+        )
+        if not has_upward:
+            return False
+        if checked >= max_cycles:
+            break
+    return checked > 0

@@ -1,0 +1,140 @@
+"""Table-driven local routing over an explicit turn model.
+
+Routes are shortest paths in the *channel graph*: nodes are directed
+same-layer channels, and channel (u -> v) connects to (v -> w) when the
+turn model permits the turn at ``v``.  A backward BFS per destination
+yields, for every (router, in_port), the minimising next hop.  This is the
+machinery behind both up*/down* routing on faulty layers and the
+composable-routing baseline's restricted chiplet tables.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.noc.flit import OPPOSITE, Port
+from repro.routing.base import MESH_DIRS, TurnModel
+from repro.topology.chiplet import SystemTopology
+
+
+class TableRouting:
+    """Precomputed local routing for one layer (a set of router ids)."""
+
+    def __init__(
+        self,
+        topo: SystemTopology,
+        members: List[int],
+        turn_model: TurnModel,
+    ):
+        self.topo = topo
+        self.members = set(members)
+        self.turn_model = turn_model
+        #: neighbour over a healthy link: (rid, out_port) -> nbr
+        self.neighbor_of: Dict[Tuple[int, Port], int] = {}
+        for rid in members:
+            for nbr, port in topo.layer_neighbors(rid):
+                self.neighbor_of[(rid, port)] = nbr
+        #: distance-to-destination per channel: dist[dst][(u, port)] is the
+        #: hop count from the head of channel (u --port--> v) to dst.
+        self._dist: Dict[int, Dict[Tuple[int, Port], int]] = {}
+        for dst in members:
+            self._dist[dst] = self._backward_bfs(dst)
+
+    # ------------------------------------------------------------------ #
+
+    def _incoming(self, rid: int) -> List[Tuple[int, Port]]:
+        """Channels (u, port) whose head is ``rid``."""
+        result = []
+        for (u, port), v in self.neighbor_of.items():
+            if v == rid:
+                result.append((u, port))
+        return result
+
+    def _backward_bfs(self, dst: int) -> Dict[Tuple[int, Port], int]:
+        """dist[(u, port)] = remaining hops after traversing u->nbr to
+        reach ``dst`` (1 when nbr == dst and ejection is allowed)."""
+        dist: Dict[Tuple[int, Port], int] = {}
+        frontier: deque = deque()
+        for u, port in self._incoming(dst):
+            in_port_at_dst = OPPOSITE[port]
+            if self.turn_model.allowed(dst, in_port_at_dst, Port.LOCAL):
+                dist[(u, port)] = 1
+                frontier.append((u, port))
+        while frontier:
+            u, port = frontier.popleft()
+            d = dist[(u, port)]
+            # predecessors: channels (w, p) with head u whose turn into
+            # (u, port) is allowed
+            for w, p in self._incoming(u):
+                if (w, p) in dist:
+                    continue
+                if self.turn_model.allowed(u, OPPOSITE[p], port):
+                    dist[(w, p)] = d + 1
+                    frontier.append((w, p))
+        return dist
+
+    # ------------------------------------------------------------------ #
+
+    def next_port(self, rid: int, in_port: Port, dst: int) -> Port:
+        """Table-routed next hop; raises when the turn model forbids
+        every path (used as a design-time connectivity check)."""
+        port = self.try_next_port(rid, in_port, dst)
+        if port is None:
+            raise ValueError(
+                f"no route from router {rid} (in via {in_port.name}) to "
+                f"{dst} under the turn model"
+            )
+        return port
+
+    def try_next_port(self, rid: int, in_port: Port, dst: int) -> Optional[Port]:
+        """Like :meth:`next_port`, but ``None`` when unroutable."""
+        if rid == dst:
+            return Port.LOCAL
+        dist = self._dist[dst]
+        best: Optional[Port] = None
+        best_d = None
+        for port in MESH_DIRS:
+            if (rid, port) not in self.neighbor_of:
+                continue
+            if not self.turn_model.allowed(rid, in_port, port):
+                continue
+            d = dist.get((rid, port))
+            if d is None:
+                continue
+            if best_d is None or d < best_d:
+                best, best_d = port, d
+        return best
+
+    def path_length(self, src: int, in_port: Port, dst: int) -> Optional[int]:
+        """Hop count of the routed path, or ``None`` if unreachable."""
+        if src == dst:
+            return 0
+        hops = 0
+        rid, port_in = src, in_port
+        while rid != dst:
+            port = self.try_next_port(rid, port_in, dst)
+            if port is None:
+                return None
+            nbr = self.neighbor_of[(rid, port)]
+            port_in = OPPOSITE[port]
+            rid = nbr
+            hops += 1
+            if hops > 4 * len(self.members):
+                raise RuntimeError("routing table produced a loop")
+        return hops
+
+    def walk(self, src: int, in_port: Port, dst: int) -> List[Tuple[int, Port]]:
+        """The (router, out_port) sequence of the routed path."""
+        steps: List[Tuple[int, Port]] = []
+        rid, port_in = src, in_port
+        while rid != dst:
+            port = self.try_next_port(rid, port_in, dst)
+            if port is None:
+                raise ValueError(f"unroutable: {src} -> {dst}")
+            steps.append((rid, port))
+            rid = self.neighbor_of[(rid, port)]
+            port_in = OPPOSITE[port]
+            if len(steps) > 4 * len(self.members):
+                raise RuntimeError("routing table produced a loop")
+        return steps

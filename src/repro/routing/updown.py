@@ -1,0 +1,46 @@
+"""Up*/down* local routing for faulty (irregular) layers.
+
+ARIADNE-style: a BFS spanning tree is built over the healthy links of one
+layer, links are oriented toward the root, and the down->up turn is
+forbidden.  The result is connected (the tree guarantees a legal path
+between any pair) and deadlock-free within the layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.noc.flit import Port
+from repro.routing.base import UpDownTurnModel
+from repro.routing.table import TableRouting
+from repro.topology.chiplet import SystemTopology
+
+
+def spanning_tree_depths(topo: SystemTopology, members: List[int]) -> Dict[int, int]:
+    """BFS depths from the lowest-id member over healthy links."""
+    root = min(members)
+    depth = {root: 0}
+    frontier = deque([root])
+    member_set = set(members)
+    while frontier:
+        rid = frontier.popleft()
+        for nbr, _port in topo.layer_neighbors(rid):
+            if nbr in member_set and nbr not in depth:
+                depth[nbr] = depth[rid] + 1
+                frontier.append(nbr)
+    missing = member_set - set(depth)
+    if missing:
+        raise ValueError(f"layer disconnected: routers {sorted(missing)} unreachable")
+    return depth
+
+
+def build_updown_routing(topo: SystemTopology, members: List[int]) -> TableRouting:
+    """Table routing for one layer under up*/down* turn rules."""
+    depth = spanning_tree_depths(topo, members)
+    neighbor_of: Dict[Tuple[int, Port], int] = {}
+    for rid in members:
+        for nbr, port in topo.layer_neighbors(rid):
+            neighbor_of[(rid, port)] = nbr
+    model = UpDownTurnModel(depth, neighbor_of)
+    return TableRouting(topo, members, model)

@@ -1,0 +1,33 @@
+"""Dimension-order (XY) local routing for healthy mesh layers."""
+
+from __future__ import annotations
+
+from repro.noc.flit import Port
+from repro.topology.chiplet import SystemTopology
+from repro.topology.mesh import xy_next_port
+
+
+class XYLocalRouting:
+    """XY routing over one layer of a (fault-free) chiplet system.
+
+    Deadlock-free within the layer by Dally's turn argument; the paper uses
+    XY as every layer's local routing in the regular-topology experiments
+    (Sec. VI: "All three approaches use XY routing in both chiplets and the
+    interposer for local deadlock freedom").
+    """
+
+    def __init__(self, topo: SystemTopology):
+        self.topo = topo
+        if topo.faulty:
+            raise ValueError(
+                "XY routing is invalid on faulty meshes; use up*/down* "
+                "table routing instead"
+            )
+
+    def next_port(self, rid: int, in_port: Port, dst: int) -> Port:
+        """Dimension-order next hop toward a same-layer destination."""
+        if self.topo.chiplet_of[rid] != self.topo.chiplet_of[dst]:
+            raise ValueError(
+                f"local routing asked to cross layers: {rid} -> {dst}"
+            )
+        return xy_next_port(self.topo.coords[rid], self.topo.coords[dst])

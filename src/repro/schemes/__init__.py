@@ -1,0 +1,15 @@
+"""Pluggable deadlock-freedom schemes (Table I rows)."""
+
+from repro.schemes.base import DeadlockScheme
+from repro.schemes.composable import ComposableRoutingScheme
+from repro.schemes.none import UnprotectedScheme
+from repro.schemes.remote_control import RemoteControlScheme
+from repro.schemes.upp import UPPScheme
+
+__all__ = [
+    "ComposableRoutingScheme",
+    "DeadlockScheme",
+    "RemoteControlScheme",
+    "UPPScheme",
+    "UnprotectedScheme",
+]

@@ -1,0 +1,76 @@
+"""Deadlock-freedom scheme interface.
+
+A scheme composes with the scheme-agnostic substrate at four points:
+
+* :meth:`build_routing` — supplies the system routing function (local
+  algorithms, binding/selection maps, turn restrictions).
+* :meth:`attach` — adds per-router / per-NI controller state.
+* :meth:`post_cycle` — runs per-cycle control logic (UPP detection).
+* :meth:`qualitative_profile` — the scheme's Table I row.
+
+This mirrors the paper's modularity story: routers and NIs are designed
+once; schemes bolt on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.noc.config import NocConfig
+from repro.routing.binding import compute_binding
+from repro.routing.hierarchical import HierarchicalRouting
+from repro.routing.updown import build_updown_routing
+from repro.routing.xy import XYLocalRouting
+from repro.topology.chiplet import SystemTopology
+
+#: Table I column names.
+PROFILE_COLUMNS = (
+    "topology_modularity",
+    "vc_modularity",
+    "flow_control_modularity",
+    "full_path_diversity",
+    "no_injection_control",
+    "topology_independence",
+)
+
+
+def build_local_routing(topo: SystemTopology):
+    """Per-layer local routing: XY on healthy layers, up*/down* tables on
+    faulty ones (the reconfiguration path of Fig. 11)."""
+    if topo.faulty:
+        interposer = build_updown_routing(topo, topo.interposer_routers)
+        chiplets = {
+            c: build_updown_routing(topo, topo.chiplet_routers(c))
+            for c in range(topo.n_chiplets)
+        }
+    else:
+        xy = XYLocalRouting(topo)
+        interposer = xy
+        chiplets = {c: xy for c in range(topo.n_chiplets)}
+    return interposer, chiplets
+
+
+class DeadlockScheme:
+    """Base class; concrete schemes override the hooks they need."""
+
+    name = "base"
+
+    def build_routing(
+        self, topo: SystemTopology, cfg: NocConfig, rng: random.Random
+    ) -> HierarchicalRouting:
+        interposer, chiplets = build_local_routing(topo)
+        binding = compute_binding(topo, rng)
+        return HierarchicalRouting(topo, interposer, chiplets, binding)
+
+    def attach(self, network) -> None:
+        """Install controller state into routers / NIs."""
+
+    def post_cycle(self, network, cycle: int) -> None:
+        """Per-cycle control logic after router and NI evaluation."""
+
+    def qualitative_profile(self) -> Dict[str, bool]:
+        raise NotImplementedError
+
+    def stats_snapshot(self) -> dict:
+        return {}

@@ -1,0 +1,32 @@
+"""The unprotected baseline: fully adaptive-by-omission.
+
+No turn restrictions, no injection control, no recovery — the network is
+exactly the paper's substrate with every chiplet locally deadlock-free
+(XY) but nothing guarding the integration-induced cycles that cross
+vertical links.  Used by tests and examples to demonstrate that such
+deadlocks really form (Fig. 1 / Fig. 3), and as the hardware-cost
+reference point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.schemes.base import DeadlockScheme
+
+
+class UnprotectedScheme(DeadlockScheme):
+    """No deadlock protection at all (the demonstration baseline)."""
+
+    name = "none"
+
+    def qualitative_profile(self) -> Dict[str, bool]:
+        return {
+            "topology_modularity": True,
+            "vc_modularity": True,
+            "flow_control_modularity": True,
+            "full_path_diversity": True,
+            "no_injection_control": True,
+            "topology_independence": True,
+            "deadlock_free": False,
+        }

@@ -1,0 +1,296 @@
+"""Remote control baseline (Majumder et al., IEEE TC 2021) as modelled in
+the UPP paper (Secs. III-B, VI).
+
+Deadlock avoidance by isolation: inter-chiplet packets are held at
+injection until a permission-subnetwork handshake completes, and on
+arrival at the destination chiplet's boundary router they are absorbed
+into dedicated per-message-class boundary buffers instead of the normal
+input VCs.  A slot is reserved before injection and held until the packet
+drains out of the buffer, so absorption space is always guaranteed and
+the upward vertical link never backpressures — no buffer-dependency cycle
+can cross it.  Buffers are per message class (sharing them would let
+requests starve responses into a protocol deadlock — the same argument
+as the paper's footnote 1).
+
+Performance model follows the paper's characterisation:
+
+* full path diversity -- routing is identical to UPP's (Sec. VI: "Remote
+  control uses the same boundary router selection mechanism as UPP");
+* the handshake costs a permission-subnetwork round trip (the paper's
+  floor is 2 cycles; we charge 4 for the tree traversal both ways) plus
+  queueing at the boundary's single-grant-per-cycle arbiter;
+* crossing the boundary router costs one extra pipeline cycle because VC
+  allocation cannot run in parallel with switch allocation there;
+* each boundary router carries data-packet-sized boundary buffers
+  (six by default, two per message class).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Dict, Tuple
+
+from repro.noc.flit import Port
+from repro.schemes.base import DeadlockScheme
+
+
+class _PacketBuffer:
+    __slots__ = ("flits", "head_cycle", "vnet", "out_port", "out_vc", "complete")
+
+    def __init__(self, vnet: int) -> None:
+        self.flits: deque = deque()
+        self.head_cycle = -1
+        self.vnet = vnet
+        self.out_port = None
+        self.out_vc = -1
+        self.complete = False
+
+
+class BoundaryBufferUnit:
+    """The absorb / park / re-inject datapath at one boundary router.
+
+    Inbound packets whose message class has a free buffer slot are
+    absorbed directly off the vertical link (credits return immediately).
+    When the class's buffers are full, the packet parks in the normal
+    DOWN-input VCs -- excluded from switch allocation -- and is pulled into
+    a buffer as soon as one frees, so the vertical link backpressures
+    only transiently.
+    """
+
+    def __init__(self, router, scheme, slots_per_vnet, extra_pipeline_delay: int):
+        self.router = router
+        self.scheme = scheme
+        self.slots_per_vnet = slots_per_vnet
+        self.extra_delay = extra_pipeline_delay
+        self._packets: "OrderedDict[int, _PacketBuffer]" = OrderedDict()
+        #: pids currently being absorbed straight off the link.
+        self._absorbing: Dict[int, _PacketBuffer] = {}
+        self.high_water = [0] * len(slots_per_vnet)
+
+    # ------------------------------------------------------------------ #
+    # arrival side
+
+    def _occupancy(self, vnet: int) -> int:
+        return sum(1 for buf in self._packets.values() if buf.vnet == vnet)
+
+    def wants(self, flit) -> bool:
+        """Every inbound flit bypasses the input VCs: its packet reserved
+        a buffer slot before injection, so space is guaranteed and the
+        vertical link never backpressures."""
+        return True
+
+    def absorb(self, flit, cycle: int) -> None:
+        """Accept one inbound flit off the vertical link into its
+        packet's reserved buffer."""
+        pid = flit.packet.pid
+        buf = self._absorbing.get(pid)
+        if buf is None:
+            buf = _PacketBuffer(flit.packet.vnet)
+            self._absorbing[pid] = buf
+            self._packets[pid] = buf
+            occ = self._occupancy(flit.packet.vnet)
+            if occ > self.high_water[flit.packet.vnet]:
+                self.high_water[flit.packet.vnet] = occ
+            if occ > self.slots_per_vnet[flit.packet.vnet]:
+                raise OverflowError(
+                    f"boundary buffer overflow at router {self.router.rid}: "
+                    f"a packet arrived without a reservation"
+                )
+        flit.arrival_cycle = cycle
+        if flit.is_header:
+            buf.head_cycle = cycle
+        buf.flits.append(flit)
+        if flit.is_tail:
+            buf.complete = True
+            del self._absorbing[pid]
+
+    # ------------------------------------------------------------------ #
+    # departure side
+
+    def reinject(self, router, cycle: int) -> None:
+        """Stream one flit per cycle from the boundary buffers into the
+        chiplet (or the local NI), with normal VC allocation plus the
+        one-cycle boundary penalty on the head flit."""
+        for pid, buf in self._packets.items():
+            if not buf.flits:
+                continue
+            flit = buf.flits[0]
+            if flit.is_header:
+                ready = buf.head_cycle + router.cfg.sa_eligibility_delay + self.extra_delay
+                if cycle < ready:
+                    continue
+                packet = flit.packet
+                out_port = router.routing(router, Port.DOWN, packet.dst, packet.src)
+                if out_port in router._used_out:
+                    continue
+                oport = router.out_ports[out_port]
+                free = oport.free_vcs(packet.vnet)
+                if not free:
+                    continue
+                buf.out_port = out_port
+                buf.out_vc = free[0] if len(free) == 1 else router._rng.choice(free)
+                oport.allocate(buf.out_vc, packet.pid)
+            else:
+                if buf.out_port in router._used_out:
+                    continue
+                if flit.arrival_cycle >= cycle:
+                    continue
+            oport = router.out_ports[buf.out_port]
+            if oport.credits[buf.out_vc] <= 0:
+                continue
+            buf.flits.popleft()
+            oport.consume_credit(buf.out_vc)
+            router._used_out.add(buf.out_port)
+            router.energy.buffer_reads += 1
+            router.energy.xbar_traversals += 1
+            router.out_links[buf.out_port].send_flit(flit, buf.out_vc, cycle + 1)
+            if flit.seq == 0:
+                flit.packet.hops += 1
+            if flit.is_tail:
+                del self._packets[pid]
+                self.scheme.release_slot(router.rid, flit.packet.vnet)
+            return  # one flit per cycle through the boundary unit
+
+    def occupancy(self) -> int:
+        """Flits resident in the boundary buffers."""
+        return sum(len(buf.flits) for buf in self._packets.values())
+
+
+class PermissionController:
+    """The hard-wired permission subnetwork endpoint at one boundary
+    router: a per-VNet slot count for the boundary buffers, a request
+    queue served at one grant per cycle, and the subnetwork round trip.
+
+    A slot is held from grant until the packet drains out of the boundary
+    buffer, which guarantees absorption space for every granted packet —
+    the property the isolation proof needs."""
+
+    def __init__(self, boundary_rid: int, slots_per_vnet, rtt: int):
+        self.boundary_rid = boundary_rid
+        self.free_slots = list(slots_per_vnet)
+        self.rtt = rtt
+        self.queue: deque = deque()  # (ni_node, pid, vnet)
+        self.in_flight_grants: deque = deque()  # (due_cycle, ni_node, pid)
+        self.grants_issued = 0
+
+    def request(self, ni_node: int, pid: int, vnet: int) -> None:
+        """Enqueue a reservation request from a source NI."""
+        self.queue.append((ni_node, pid, vnet))
+
+    def step(self, cycle: int, deliver) -> None:
+        # one grant per cycle; skip past head-of-line requests whose VNet
+        # has no free slot so one message class cannot block another
+        for idx, (ni_node, pid, vnet) in enumerate(self.queue):
+            if self.free_slots[vnet] > 0:
+                self.free_slots[vnet] -= 1
+                del self.queue[idx]
+                self.in_flight_grants.append((cycle + self.rtt, ni_node, pid))
+                self.grants_issued += 1
+                break
+        while self.in_flight_grants and self.in_flight_grants[0][0] <= cycle:
+            _, ni_node, pid = self.in_flight_grants.popleft()
+            deliver(ni_node, pid)
+
+    def release(self, vnet: int) -> None:
+        """Return a slot when a packet drains out of the buffer."""
+        self.free_slots[vnet] += 1
+
+
+class RemoteControlScheme(DeadlockScheme):
+    """Deadlock avoidance via injection control + boundary-buffer
+    isolation."""
+
+    name = "remote_control"
+
+    def __init__(self, n_slots: int = 6, handshake_rtt: int = 4, extra_pipeline_delay: int = 1):
+        self.n_slots = n_slots
+        self.handshake_rtt = handshake_rtt
+        self.extra_pipeline_delay = extra_pipeline_delay
+        self.controllers: Dict[int, PermissionController] = {}
+        self._status: Dict[int, str] = {}  # pid -> waiting | granted
+        self.total_grants = 0
+        self.total_requests = 0
+
+    # ------------------------------------------------------------------ #
+
+    def attach(self, network) -> None:
+        topo = network.topo
+        n_vnets = network.cfg.n_vnets
+        base, spare = divmod(self.n_slots, n_vnets)
+        slots_per_vnet = [
+            base + (1 if v >= n_vnets - spare else 0) for v in range(n_vnets)
+        ]
+        if any(count < 1 for count in slots_per_vnet):
+            raise ValueError(
+                f"{self.n_slots} boundary slots cannot cover {n_vnets} VNets"
+            )
+        # our conservative model holds a reservation for the packet's whole
+        # flight, so the slot count scales with the in-flight capacity (the
+        # VC count) to represent the same credit turnover as the paper's
+        # four physical buffers
+        slots_per_vnet = [s * network.cfg.vcs_per_vnet for s in slots_per_vnet]
+        self._routing = network.routing
+        for boundary in topo.boundary_routers():
+            router = network.routers[boundary]
+            router.rc_unit = BoundaryBufferUnit(
+                router, self, slots_per_vnet, self.extra_pipeline_delay
+            )
+            self.controllers[boundary] = PermissionController(
+                boundary, slots_per_vnet, self.handshake_rtt
+            )
+        for ni in network.nis.values():
+            ni.inject_gate = self._gate
+        self._topo = topo
+
+    def _needs_permission(self, ni, packet) -> bool:
+        topo = self._topo
+        if topo.is_interposer(packet.dst):
+            return False  # never enters a chiplet from below
+        return topo.chiplet_of[packet.dst] != topo.chiplet_of[ni.node]
+
+    def _gate(self, ni, packet, cycle: int) -> bool:
+        if not self._needs_permission(ni, packet):
+            return True
+        status = self._status.get(packet.pid)
+        if status is None:
+            boundary = self._routing.entry_binding[packet.dst]
+            self.controllers[boundary].request(ni.node, packet.pid, packet.vnet)
+            self._status[packet.pid] = "waiting"
+            self.total_requests += 1
+            return False
+        if status == "granted":
+            del self._status[packet.pid]
+            return True
+        return False
+
+    def release_slot(self, boundary_rid: int, vnet: int) -> None:
+        """Callback from a boundary unit when a packet fully re-injects."""
+        self.controllers[boundary_rid].release(vnet)
+
+    def _deliver_grant(self, ni_node: int, pid: int) -> None:
+        self._status[pid] = "granted"
+        self.total_grants += 1
+
+    def post_cycle(self, network, cycle: int) -> None:
+        for controller in self.controllers.values():
+            controller.step(cycle, self._deliver_grant)
+
+    # ------------------------------------------------------------------ #
+
+    def qualitative_profile(self) -> Dict[str, bool]:
+        return {
+            "topology_modularity": True,
+            "vc_modularity": True,
+            "flow_control_modularity": True,
+            "full_path_diversity": True,
+            "no_injection_control": False,
+            "topology_independence": False,
+            "deadlock_free": True,
+        }
+
+    def stats_snapshot(self) -> dict:
+        return {
+            "permission_requests": self.total_requests,
+            "permission_grants": self.total_grants,
+            "outstanding": len(self._status),
+        }

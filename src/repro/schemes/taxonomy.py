@@ -1,0 +1,145 @@
+"""The full Table I taxonomy: conventional deadlock-freedom families.
+
+The paper classifies conventional approaches into five families (Sec.
+II-B) and scores each on the six Table I properties.  The three modular
+schemes are implemented in this repository; the five conventional
+families are *not* implementable in a modular chiplet flow at all — which
+is exactly Table I's point — so they are encoded here as the paper's
+qualitative profiles, with the reasoning captured per entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.schemes.base import PROFILE_COLUMNS
+
+
+@dataclass(frozen=True)
+class ConventionalFamily:
+    """One Table I row for a conventional (non-modular) approach family."""
+
+    name: str
+    profile: Dict[str, bool]
+    #: why the family fails design modularity (Sec. III-A).
+    modularity_violation: str
+    examples: tuple
+
+
+CONVENTIONAL_FAMILIES: List[ConventionalFamily] = [
+    ConventionalFamily(
+        name="dally_theory",
+        profile={
+            "topology_modularity": False,
+            "vc_modularity": True,
+            "flow_control_modularity": True,
+            "full_path_diversity": False,
+            "no_injection_control": True,
+            "topology_independence": False,
+        },
+        modularity_violation=(
+            "turn / VC-usage restrictions are placed from a global view of "
+            "the system topology, unavailable when a chiplet is designed"
+        ),
+        examples=("dally_seitz_1987", "ariadne", "udirec", "segment_routing"),
+    ),
+    ConventionalFamily(
+        name="duato_theory",
+        profile={
+            "topology_modularity": False,
+            "vc_modularity": False,
+            "flow_control_modularity": True,
+            "full_path_diversity": False,
+            "no_injection_control": True,
+            "topology_independence": False,
+        },
+        modularity_violation=(
+            "the escape path needs extra VCs (breaking the 1-VC-per-VNet "
+            "floor) and its turn restrictions need the global topology"
+        ),
+        examples=("duato_1993", "router_parking", "immunet", "drain"),
+    ),
+    ConventionalFamily(
+        name="bubble_flow_control",
+        profile={
+            "topology_modularity": True,
+            "vc_modularity": True,
+            "flow_control_modularity": False,
+            "full_path_diversity": True,
+            "no_injection_control": True,
+            "topology_independence": True,
+        },
+        modularity_violation=(
+            "requires virtual cut-through everywhere; chiplets built with "
+            "wormhole flow control cannot participate"
+        ),
+        examples=("bubble_router", "critical_bubble", "worm_bubble"),
+    ),
+    ConventionalFamily(
+        name="deflection",
+        profile={
+            "topology_modularity": True,
+            "vc_modularity": True,
+            "flow_control_modularity": False,
+            "full_path_diversity": True,
+            "no_injection_control": True,
+            "topology_independence": True,
+        },
+        modularity_violation=(
+            "misrouting under wormhole needs packet truncation and "
+            "reassembly hardware that most chiplet NoCs do not carry"
+        ),
+        examples=("bless", "chipper", "minbd", "swap", "bindu"),
+    ),
+    ConventionalFamily(
+        name="spin",
+        profile={
+            "topology_modularity": True,
+            "vc_modularity": True,
+            "flow_control_modularity": False,
+            "full_path_diversity": True,
+            "no_injection_control": True,
+            "topology_independence": True,
+        },
+        modularity_violation=(
+            "synchronized packet movement along the deadlock ring requires "
+            "virtual cut-through flow control"
+        ),
+        examples=("spin_2018",),
+    ),
+]
+
+
+def table1_rows() -> List[dict]:
+    """Every Table I row: five conventional families plus the three
+    modular schemes, in the paper's order."""
+    from repro.schemes.composable import ComposableRoutingScheme
+    from repro.schemes.remote_control import RemoteControlScheme
+    from repro.schemes.upp import UPPScheme
+
+    rows = []
+    for family in CONVENTIONAL_FAMILIES:
+        rows.append({"name": family.name, "group": "conventional", **family.profile})
+    for scheme in (ComposableRoutingScheme(), RemoteControlScheme(), UPPScheme()):
+        profile = scheme.qualitative_profile()
+        rows.append(
+            {
+                "name": scheme.name,
+                "group": "modular",
+                **{column: profile[column] for column in PROFILE_COLUMNS},
+            }
+        )
+    return rows
+
+
+def only_all_yes_row() -> str:
+    """The paper's bottom line: exactly one row has every property."""
+    winners = [
+        row["name"]
+        for row in table1_rows()
+        if all(row[column] for column in PROFILE_COLUMNS)
+    ]
+    if len(winners) != 1:
+        raise AssertionError(f"expected a unique all-yes row, got {winners}")
+    return winners[0]

@@ -1,0 +1,27 @@
+"""Simulation driving: the run loop, experiment sweeps, Table II presets."""
+
+from repro.sim.experiment import (
+    SweepPoint,
+    latency_sweep,
+    make_scheme,
+    run_workload,
+    runtime_comparison,
+    saturation_throughput,
+)
+from repro.sim.presets import TABLE_II, table2_config, table2_upp_config
+from repro.sim.simulator import DeadlockError, Simulation, SimulationResult
+
+__all__ = [
+    "DeadlockError",
+    "Simulation",
+    "SimulationResult",
+    "SweepPoint",
+    "TABLE_II",
+    "latency_sweep",
+    "make_scheme",
+    "run_workload",
+    "runtime_comparison",
+    "saturation_throughput",
+    "table2_config",
+    "table2_upp_config",
+]

@@ -1,0 +1,199 @@
+"""Experiment harnesses: the parameter sweeps behind every figure.
+
+Each function builds fresh networks per data point (schemes keep no state
+across runs) and returns plain dicts/lists so benchmarks can print the
+same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import UPPConfig
+from repro.noc.config import NocConfig
+from repro.schemes.composable import ComposableRoutingScheme
+from repro.schemes.remote_control import RemoteControlScheme
+from repro.schemes.upp import UPPScheme
+from repro.sim.simulator import Simulation
+from repro.topology.chiplet import SystemTopology
+from repro.traffic.coherence import install_coherence_workload, workload_finished
+from repro.traffic.synthetic import install_synthetic_traffic
+from repro.traffic.workloads import WorkloadProfile
+
+
+def make_scheme(name: str, upp_cfg: Optional[UPPConfig] = None):
+    """Scheme factory by name ('composable' | 'remote_control' | 'upp' |
+    'none')."""
+    if name == "composable":
+        return ComposableRoutingScheme()
+    if name == "remote_control":
+        return RemoteControlScheme()
+    if name == "upp":
+        return UPPScheme(upp_cfg)
+    if name == "none":
+        from repro.schemes.none import UnprotectedScheme
+
+        return UnprotectedScheme()
+    raise ValueError(f"unknown scheme {name!r}")
+
+
+@dataclass
+class SweepPoint:
+    """One injection-rate point of a latency sweep."""
+
+    rate: float
+    latency: float
+    network_latency: float
+    queueing_latency: float
+    throughput: float
+    deadlocked: bool
+    upward_packets: int
+
+
+def latency_sweep(
+    topo_factory: Callable[[], SystemTopology],
+    cfg: NocConfig,
+    scheme_name: str,
+    pattern: str,
+    rates: Sequence[float],
+    warmup: int = 2000,
+    measure: int = 8000,
+    upp_cfg: Optional[UPPConfig] = None,
+    saturation_latency: float = 200.0,
+) -> List[SweepPoint]:
+    """Latency vs injection rate (Figs. 7, 9, 11, 13).
+
+    The sweep stops early once average latency explodes past
+    ``saturation_latency`` — beyond saturation the queueing latency is
+    unbounded and later points carry no information.
+    """
+    points: List[SweepPoint] = []
+    for rate in rates:
+        sim_topo = topo_factory()
+        scheme = make_scheme(scheme_name, upp_cfg)
+        sim = Simulation(sim_topo, cfg, scheme)
+        install_synthetic_traffic(sim.network, pattern, rate)
+        result = sim.run(warmup, measure, allow_deadlock=(scheme_name == "none"))
+        summary = result.summary
+        upward = result.scheme_stats.get("upward_packets", 0)
+        points.append(
+            SweepPoint(
+                rate=rate,
+                latency=summary["avg_total_latency"],
+                network_latency=summary["avg_network_latency"],
+                queueing_latency=summary["avg_queueing_latency"],
+                throughput=summary["throughput"],
+                deadlocked=result.deadlocked,
+                upward_packets=upward,
+            )
+        )
+        if summary["avg_total_latency"] > saturation_latency or result.deadlocked:
+            break
+    return points
+
+
+def saturation_throughput(points: List[SweepPoint], zero_load_factor: float = 2.0) -> float:
+    """Saturation throughput: accepted traffic at the last point whose
+    latency stays below ``zero_load_factor`` x the zero-load latency (the
+    conventional NoC definition)."""
+    if not points:
+        return 0.0
+    zero_load = points[0].latency
+    best = 0.0
+    for point in points:
+        if point.deadlocked or point.latency > zero_load_factor * zero_load:
+            break
+        best = max(best, point.throughput)
+    return best
+
+
+def run_workload(
+    topo_factory: Callable[[], SystemTopology],
+    cfg: NocConfig,
+    scheme_name: str,
+    profile: WorkloadProfile,
+    upp_cfg: Optional[UPPConfig] = None,
+    max_cycles: int = 400_000,
+) -> Dict[str, float]:
+    """Closed-loop coherence run; runtime = cycles until every core done
+    (Figs. 8, 12, 15)."""
+    sim_topo = topo_factory()
+    scheme = make_scheme(scheme_name, upp_cfg)
+    sim = Simulation(sim_topo, cfg, scheme)
+    endpoints = install_coherence_workload(sim.network, profile)
+    # keep the stats callback installed by Simulation: coherence endpoints
+    # consume from ejection queues; stats hook sees every ejection.
+    result = sim.run(
+        warmup=0,
+        measure=max_cycles,
+        stop_when=lambda net: workload_finished(endpoints),
+        max_cycles=max_cycles,
+    )
+    if not workload_finished(endpoints):
+        raise RuntimeError(
+            f"workload {profile.name} did not finish within {max_cycles} "
+            f"cycles under {scheme_name}"
+        )
+    summary = dict(result.summary)
+    summary["runtime"] = result.cycles
+    summary["upward_packets"] = result.scheme_stats.get("upward_packets", 0)
+    summary["total_packets"] = result.stats.ejected_packets
+    return summary
+
+
+def runtime_comparison(
+    topo_factory: Callable[[], SystemTopology],
+    cfg: NocConfig,
+    profile: WorkloadProfile,
+    schemes: Sequence[str] = ("composable", "remote_control", "upp"),
+    upp_cfg: Optional[UPPConfig] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Per-scheme workload runtimes, plus values normalised to the first
+    scheme (the paper normalises to composable routing)."""
+    results = {
+        name: run_workload(topo_factory, cfg, name, profile, upp_cfg)
+        for name in schemes
+    }
+    reference = results[schemes[0]]["runtime"]
+    for name in schemes:
+        results[name]["normalized_runtime"] = results[name]["runtime"] / reference
+    return results
+
+
+def replicate(run_once: Callable[[int], float], seeds: Sequence[int]) -> Dict[str, float]:
+    """Run a scalar-valued experiment across seeds and report mean/spread.
+
+    ``run_once(seed)`` must build its own simulation from the seed.  Used
+    by benches that average over randomized topologies (Fig. 11) or want
+    seed-robust comparisons.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = [float(run_once(seed)) for seed in seeds]
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return {
+        "mean": mean,
+        "std": variance ** 0.5,
+        "min": min(values),
+        "max": max(values),
+        "n": len(values),
+    }
+
+
+def sweep_to_rows(points: List[SweepPoint]) -> List[dict]:
+    """Plain-dict form of a sweep (JSON-serialisable)."""
+    return [
+        {
+            "rate": p.rate,
+            "latency": p.latency,
+            "network_latency": p.network_latency,
+            "queueing_latency": p.queueing_latency,
+            "throughput": p.throughput,
+            "deadlocked": p.deadlocked,
+            "upward_packets": p.upward_packets,
+        }
+        for p in points
+    ]

@@ -1,0 +1,134 @@
+"""Simulation driver: warmup/measure phases and the deadlock watchdog.
+
+The watchdog is the *oracle*, not a scheme: it declares a global deadlock
+when flits are resident in the network but nothing has moved for a long
+time.  With UPP (or either avoidance baseline) it must never fire; with
+the unprotected scheme it is how examples and tests observe
+integration-induced deadlocks actually forming.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.stats import SimulationStats, install_stats
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.topology.chiplet import SystemTopology
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the watchdog fires under a scheme that promised
+    deadlock freedom."""
+
+
+@dataclass
+class SimulationResult:
+    """What a measured run returns: window length, metric summary,
+    deadlock outcome and the scheme's own counters."""
+
+    cycles: int
+    summary: Dict[str, float]
+    deadlocked: bool
+    deadlock_cycle: Optional[int]
+    scheme_stats: dict
+    stats: SimulationStats = field(repr=False, default=None)
+
+
+class Simulation:
+    """One network + traffic + measurement run."""
+
+    def __init__(
+        self,
+        topo: SystemTopology,
+        cfg: NocConfig,
+        scheme,
+        watchdog_window: int = 3000,
+    ):
+        self.network = Network(topo, cfg, scheme)
+        self.scheme = self.network.scheme
+        self.stats = install_stats(self.network)
+        self.watchdog_window = watchdog_window
+        self._last_activity = 0
+        self._idle_cycles = 0
+        self.deadlock_cycle: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+
+    def _watchdog_check(self) -> bool:
+        net = self.network
+        if net.activity != self._last_activity:
+            self._last_activity = net.activity
+            self._idle_cycles = 0
+            return False
+        self._idle_cycles += 1
+        if self._idle_cycles < self.watchdog_window:
+            return False
+        if net.in_network_flits() == 0:
+            self._idle_cycles = 0
+            return False
+        return True
+
+    def run(
+        self,
+        warmup: int,
+        measure: int,
+        stop_when=None,
+        allow_deadlock: bool = False,
+        max_cycles: Optional[int] = None,
+    ) -> SimulationResult:
+        """Warm up, measure, return results.
+
+        ``stop_when(network)`` ends the measurement early (closed-loop
+        workloads finish when every core is done).  If the watchdog fires
+        and ``allow_deadlock`` is False, :class:`DeadlockError` is raised.
+        """
+        net = self.network
+        for _ in range(warmup):
+            net.step()
+            if self._watchdog_check():
+                return self._deadlock_result(allow_deadlock)
+        self.stats.begin_window(net.cycle)
+        start = net.cycle
+        limit = max_cycles if max_cycles is not None else measure
+        elapsed = 0
+        while elapsed < limit:
+            net.step()
+            elapsed += 1
+            if stop_when is not None and stop_when(net):
+                break
+            if stop_when is None and elapsed >= measure:
+                break
+            if self._watchdog_check():
+                return self._deadlock_result(allow_deadlock)
+        self.stats.end_window(net.cycle)
+        cycles = net.cycle - start
+        return SimulationResult(
+            cycles=cycles,
+            summary=self.stats.summary(cycles),
+            deadlocked=False,
+            deadlock_cycle=None,
+            scheme_stats=self.scheme.stats_snapshot(),
+            stats=self.stats,
+        )
+
+    def _deadlock_result(self, allow_deadlock: bool) -> SimulationResult:
+        self.deadlock_cycle = self.network.cycle
+        if not allow_deadlock:
+            raise DeadlockError(
+                f"{self.scheme.name}: network deadlocked at cycle "
+                f"{self.deadlock_cycle} with "
+                f"{self.network.in_network_flits()} flits in flight"
+            )
+        self.stats.end_window(self.network.cycle)
+        cycles = max(1, self.network.cycle - self.stats.window_start)
+        return SimulationResult(
+            cycles=cycles,
+            summary=self.stats.summary(cycles),
+            deadlocked=True,
+            deadlock_cycle=self.deadlock_cycle,
+            scheme_stats=self.scheme.stats_snapshot(),
+            stats=self.stats,
+        )

@@ -1,0 +1,21 @@
+"""Chiplet-based system topologies and fault injection."""
+
+from repro.topology.chiplet import (
+    SystemTopology,
+    baseline_system,
+    build_heterogeneous_system,
+    build_system,
+    large_system,
+    star_system,
+)
+from repro.topology.faults import inject_faults
+
+__all__ = [
+    "SystemTopology",
+    "baseline_system",
+    "build_heterogeneous_system",
+    "build_system",
+    "inject_faults",
+    "large_system",
+    "star_system",
+]

@@ -1,0 +1,339 @@
+"""Chiplet-based system topologies (paper Fig. 1).
+
+A :class:`SystemTopology` is a pure description — router ids, layers, link
+list, vertical-link attachments — consumed by
+:class:`repro.noc.network.Network` to build the runtime system and by the
+routing layer to build tables.
+
+Router id space: interposer routers come first (row-major), then each
+chiplet's routers (row-major, chiplets in index order).  NIs attach to
+every router; synthetic traffic by default addresses chiplet nodes only
+(the 64 cores of the baseline system), while coherence workloads also use
+interposer NIs as directories (Table II: "8 directories on the
+interposer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.noc.flit import OPPOSITE, Port
+from repro.topology.mesh import (
+    Coord,
+    boundary_positions,
+    coord_of,
+    index_of,
+    mesh_links,
+)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One unidirectional link: ``src`` router's ``src_port`` to ``dst``
+    router's ``dst_port``."""
+
+    src: int
+    dst: int
+    src_port: Port
+    dst_port: Port
+
+
+@dataclass
+class SystemTopology:
+    """Description of a chiplet-based system."""
+
+    interposer_shape: Tuple[int, int]
+    chiplet_shapes: List[Tuple[int, int]]
+    #: chiplet placement: chiplet i covers interposer rows/cols starting here
+    chiplet_origins: List[Coord]
+    n_interposer: int = 0
+    n_routers: int = 0
+    coords: Dict[int, Coord] = field(default_factory=dict)
+    chiplet_of: Dict[int, int] = field(default_factory=dict)  # -1 = interposer
+    links: List[LinkSpec] = field(default_factory=list)
+    #: boundary chiplet router -> interposer router underneath
+    attach_down: Dict[int, int] = field(default_factory=dict)
+    #: interposer router -> list of boundary routers above (1 or 2)
+    attach_up: Dict[int, List[int]] = field(default_factory=dict)
+    #: interposer port used to reach each boundary router
+    up_port_of: Dict[int, Port] = field(default_factory=dict)
+    faulty: Set[Tuple[int, int]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------ #
+    # id helpers
+
+    def interposer_router(self, coord: Coord) -> int:
+        """Router id at an interposer coordinate."""
+        return index_of(coord, self.interposer_shape[1])
+
+    def chiplet_router(self, chiplet: int, coord: Coord) -> int:
+        """Router id at a chiplet-local coordinate."""
+        base = self.n_interposer
+        for c in range(chiplet):
+            rows, cols = self.chiplet_shapes[c]
+            base += rows * cols
+        return base + index_of(coord, self.chiplet_shapes[chiplet][1])
+
+    def chiplet_routers(self, chiplet: int) -> List[int]:
+        """All router ids of one chiplet, row-major."""
+        rows, cols = self.chiplet_shapes[chiplet]
+        first = self.chiplet_router(chiplet, (0, 0))
+        return list(range(first, first + rows * cols))
+
+    @property
+    def n_chiplets(self) -> int:
+        """How many chiplets the system integrates."""
+        return len(self.chiplet_shapes)
+
+    @property
+    def interposer_routers(self) -> List[int]:
+        """All interposer router ids."""
+        return list(range(self.n_interposer))
+
+    @property
+    def chiplet_nodes(self) -> List[int]:
+        """All chiplet router ids (the cores of the system)."""
+        return list(range(self.n_interposer, self.n_routers))
+
+    def boundary_routers(self, chiplet: Optional[int] = None) -> List[int]:
+        """Boundary router ids, optionally restricted to one chiplet."""
+        rids = sorted(self.attach_down)
+        if chiplet is None:
+            return rids
+        return [r for r in rids if self.chiplet_of[r] == chiplet]
+
+    def is_interposer(self, rid: int) -> bool:
+        """Layer test by router id."""
+        return rid < self.n_interposer
+
+    def layer_neighbors(self, rid: int) -> List[Tuple[int, Port]]:
+        """Same-layer (mesh) neighbours via healthy links."""
+        result = []
+        for link in self.links:
+            if link.src == rid and link.src_port in (
+                Port.NORTH,
+                Port.SOUTH,
+                Port.EAST,
+                Port.WEST,
+            ):
+                if (link.src, link.dst) not in self.faulty:
+                    result.append((link.dst, link.src_port))
+        return result
+
+    def mesh_link_pairs(self) -> List[Tuple[int, int]]:
+        """All bidirectional same-layer link pairs (for fault injection),
+        as (low_rid, high_rid) tuples, deduplicated."""
+        pairs = set()
+        for link in self.links:
+            if link.src_port in (Port.NORTH, Port.SOUTH, Port.EAST, Port.WEST):
+                pairs.add((min(link.src, link.dst), max(link.src, link.dst)))
+        return sorted(pairs)
+
+
+def build_system(
+    interposer_shape: Tuple[int, int] = (4, 4),
+    chiplet_shape: Tuple[int, int] = (4, 4),
+    chiplet_grid: Tuple[int, int] = (2, 2),
+    boundary_per_chiplet: int = 4,
+    boundary_coords: Optional[Sequence[Coord]] = None,
+) -> SystemTopology:
+    """Build a chiplet-based system.
+
+    ``chiplet_grid`` arranges identical chiplets over the interposer; each
+    chiplet covers an equal rectangular footprint of interposer routers.
+    The default arguments produce the paper's baseline system: a 4x4
+    interposer with four 4x4 chiplets, four boundary routers each.
+    """
+    irows, icols = interposer_shape
+    grows, gcols = chiplet_grid
+    if irows % grows or icols % gcols:
+        raise ValueError("chiplet grid must evenly tile the interposer")
+    frows, fcols = irows // grows, icols // gcols  # footprint per chiplet
+
+    n_chiplets = grows * gcols
+    crows, ccols = chiplet_shape
+    topo = SystemTopology(
+        interposer_shape=interposer_shape,
+        chiplet_shapes=[chiplet_shape] * n_chiplets,
+        chiplet_origins=[
+            (g // gcols * frows, g % gcols * fcols) for g in range(n_chiplets)
+        ],
+    )
+    topo.n_interposer = irows * icols
+    topo.n_routers = topo.n_interposer + n_chiplets * crows * ccols
+
+    # coordinates and layers
+    for rid in range(topo.n_interposer):
+        topo.coords[rid] = coord_of(rid, icols)
+        topo.chiplet_of[rid] = -1
+    for chip in range(n_chiplets):
+        for rid in topo.chiplet_routers(chip):
+            local = rid - topo.chiplet_router(chip, (0, 0))
+            topo.coords[rid] = coord_of(local, ccols)
+            topo.chiplet_of[rid] = chip
+
+    # mesh links
+    for src_c, dst_c, port in mesh_links(irows, icols):
+        topo.links.append(
+            LinkSpec(
+                topo.interposer_router(src_c),
+                topo.interposer_router(dst_c),
+                port,
+                OPPOSITE[port],
+            )
+        )
+    for chip in range(n_chiplets):
+        for src_c, dst_c, port in mesh_links(crows, ccols):
+            topo.links.append(
+                LinkSpec(
+                    topo.chiplet_router(chip, src_c),
+                    topo.chiplet_router(chip, dst_c),
+                    port,
+                    OPPOSITE[port],
+                )
+            )
+
+    # vertical links
+    if boundary_coords is None:
+        boundary_coords = boundary_positions(crows, ccols, boundary_per_chiplet)
+    if len(boundary_coords) not in (len(set(boundary_coords)),):
+        raise ValueError("duplicate boundary coordinates")
+    per_footprint = len(boundary_coords) / (frows * fcols)
+    if per_footprint > 2:
+        raise ValueError(
+            "at most two vertical links per interposer router are supported"
+        )
+    for chip in range(n_chiplets):
+        origin = topo.chiplet_origins[chip]
+        footprint = [
+            topo.interposer_router((origin[0] + r, origin[1] + c))
+            for r in range(frows)
+            for c in range(fcols)
+        ]
+        for i, bc in enumerate(sorted(boundary_coords)):
+            boundary = topo.chiplet_router(chip, bc)
+            iposer = footprint[i % len(footprint)]
+            _add_vertical(topo, boundary, iposer)
+    return topo
+
+
+def _add_vertical(topo: SystemTopology, boundary: int, iposer: int) -> None:
+    existing = topo.attach_up.setdefault(iposer, [])
+    up_port = Port.UP if not existing else Port.UP2
+    if len(existing) >= 2:
+        raise ValueError(f"interposer router {iposer} already has two up links")
+    existing.append(boundary)
+    topo.attach_down[boundary] = iposer
+    topo.up_port_of[boundary] = up_port
+    # up direction: interposer -> boundary, enters the chiplet's DOWN port
+    topo.links.append(LinkSpec(iposer, boundary, up_port, Port.DOWN))
+    # down direction: boundary -> interposer
+    topo.links.append(LinkSpec(boundary, iposer, Port.DOWN, up_port))
+
+
+def build_heterogeneous_system(
+    interposer_shape: Tuple[int, int],
+    chiplets: Sequence[dict],
+) -> SystemTopology:
+    """Build a system of *differently shaped* chiplets (topology
+    modularity, Table I): each entry of ``chiplets`` gives
+
+    * ``shape``    — the chiplet's mesh (rows, cols);
+    * ``origin``   — the top-left interposer coordinate of its footprint;
+    * ``footprint``— the footprint's (rows, cols) of interposer routers;
+    * ``boundary`` — boundary-router coordinates within the chiplet.
+
+    Footprints must not overlap; each carries at most two vertical links
+    per interposer router.
+    """
+    irows, icols = interposer_shape
+    topo = SystemTopology(
+        interposer_shape=interposer_shape,
+        chiplet_shapes=[tuple(c["shape"]) for c in chiplets],
+        chiplet_origins=[tuple(c["origin"]) for c in chiplets],
+    )
+    topo.n_interposer = irows * icols
+    topo.n_routers = topo.n_interposer + sum(
+        r * c for r, c in topo.chiplet_shapes
+    )
+
+    for rid in range(topo.n_interposer):
+        topo.coords[rid] = coord_of(rid, icols)
+        topo.chiplet_of[rid] = -1
+    for chip, spec in enumerate(chiplets):
+        crows, ccols = spec["shape"]
+        base = topo.chiplet_router(chip, (0, 0))
+        for rid in range(base, base + crows * ccols):
+            topo.coords[rid] = coord_of(rid - base, ccols)
+            topo.chiplet_of[rid] = chip
+
+    for src_c, dst_c, port in mesh_links(irows, icols):
+        topo.links.append(
+            LinkSpec(
+                topo.interposer_router(src_c),
+                topo.interposer_router(dst_c),
+                port,
+                OPPOSITE[port],
+            )
+        )
+    claimed = set()
+    for chip, spec in enumerate(chiplets):
+        crows, ccols = spec["shape"]
+        for src_c, dst_c, port in mesh_links(crows, ccols):
+            topo.links.append(
+                LinkSpec(
+                    topo.chiplet_router(chip, src_c),
+                    topo.chiplet_router(chip, dst_c),
+                    port,
+                    OPPOSITE[port],
+                )
+            )
+        orow, ocol = spec["origin"]
+        frows, fcols = spec["footprint"]
+        footprint = []
+        for r in range(frows):
+            for c in range(fcols):
+                coord = (orow + r, ocol + c)
+                if not (0 <= coord[0] < irows and 0 <= coord[1] < icols):
+                    raise ValueError(f"footprint of chiplet {chip} leaves the interposer")
+                if coord in claimed:
+                    raise ValueError(f"footprints overlap at interposer {coord}")
+                claimed.add(coord)
+                footprint.append(topo.interposer_router(coord))
+        boundary_coords = sorted(tuple(b) for b in spec["boundary"])
+        if len(boundary_coords) > 2 * len(footprint):
+            raise ValueError(
+                f"chiplet {chip}: too many boundary routers for its footprint"
+            )
+        for i, bc in enumerate(boundary_coords):
+            if not (0 <= bc[0] < crows and 0 <= bc[1] < ccols):
+                raise ValueError(f"boundary {bc} outside chiplet {chip}")
+            _add_vertical(topo, topo.chiplet_router(chip, bc), footprint[i % len(footprint)])
+    return topo
+
+
+def baseline_system() -> SystemTopology:
+    """The paper's baseline: 4x4 interposer, four 4x4 chiplets, 4 boundary
+    routers per chiplet (Fig. 1, Table II)."""
+    return build_system()
+
+
+def large_system() -> SystemTopology:
+    """The 128-node system of Fig. 9: 4x8 interposer, eight 4x4 chiplets."""
+    return build_system(
+        interposer_shape=(4, 8),
+        chiplet_grid=(2, 4),
+    )
+
+
+def star_system(n_chiplets: int = 4) -> SystemTopology:
+    """A passive-substrate star-like system (Sec. VI-B): a central I/O
+    chiplet plays the role of the interposer.  Network-topologically this is
+    identical to an active-interposer system, so we model the central
+    chiplet as the 'interposer' layer."""
+    if n_chiplets == 4:
+        return build_system()
+    if n_chiplets == 8:
+        return large_system()
+    raise ValueError("star systems are provided for 4 or 8 peripheral chiplets")

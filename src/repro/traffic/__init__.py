@@ -1,0 +1,31 @@
+"""Traffic: synthetic patterns, coherence workloads, traces, adversaries."""
+
+from repro.traffic.adversarial import install_adversarial_traffic, witness_flows
+from repro.traffic.coherence import (
+    CoherenceEndpoint,
+    WorkloadProfile,
+    install_coherence_workload,
+    workload_finished,
+)
+from repro.traffic.synthetic import PATTERNS, SyntheticEndpoint, install_synthetic_traffic
+from repro.traffic.trace import ReplayEndpoint, TraceRecord, TraceRecorder, install_replay
+from repro.traffic.workloads import ALL_WORKLOADS, get_workload, workload_names
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "CoherenceEndpoint",
+    "PATTERNS",
+    "ReplayEndpoint",
+    "SyntheticEndpoint",
+    "TraceRecord",
+    "TraceRecorder",
+    "WorkloadProfile",
+    "get_workload",
+    "install_adversarial_traffic",
+    "install_coherence_workload",
+    "install_replay",
+    "install_synthetic_traffic",
+    "witness_flows",
+    "workload_finished",
+    "workload_names",
+]

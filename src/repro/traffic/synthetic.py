@@ -1,0 +1,157 @@
+"""Synthetic traffic patterns (Table II): uniform random, bit complement,
+bit rotation and transpose, with a mix of 1-flit control and 5-flit data
+packets.
+
+Patterns are defined over the *logical index space* of the chiplet nodes
+(the 64 cores of the baseline system), matching how Garnet's synthetic
+traffic addresses a flat node list.  Injection is open-loop Bernoulli: a
+node injects a packet with probability ``rate / E[packet size]`` per
+cycle so that the offered load equals ``rate`` flits/cycle/node.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Callable, List, Optional
+
+from repro.noc.ni import Endpoint
+
+#: vnet assignment mirroring MESI message classes: control packets travel
+#: as requests (VNet 0), data packets as responses (VNet 2).
+CONTROL_VNET = 0
+DATA_VNET = 2
+
+
+def uniform_random(index: int, n: int, rng: random.Random) -> int:
+    """Uniform destination over all nodes except the source."""
+    dst = rng.randrange(n - 1)
+    return dst if dst < index else dst + 1
+
+
+def bit_complement(index: int, n: int, rng: random.Random) -> int:
+    """Destination = bitwise complement of the source index."""
+    return ~index & (n - 1)
+
+
+def bit_rotation(index: int, n: int, rng: random.Random) -> int:
+    """Destination = source index rotated right by one bit."""
+    bits = n.bit_length() - 1
+    return (index >> 1) | ((index & 1) << (bits - 1))
+
+
+def transpose(index: int, n: int, rng: random.Random) -> int:
+    """Destination = matrix-transposed (row, col) of the source."""
+    side = math.isqrt(n)
+    if side * side != n:
+        raise ValueError(f"transpose needs a square node count, got {n}")
+    row, col = divmod(index, side)
+    return col * side + row
+
+
+PATTERNS: dict = {
+    "uniform_random": uniform_random,
+    "bit_complement": bit_complement,
+    "bit_rotation": bit_rotation,
+    "transpose": transpose,
+}
+
+
+def _require_power_of_two(n: int, pattern: str) -> None:
+    if n & (n - 1):
+        raise ValueError(f"pattern {pattern!r} needs a power-of-two node count")
+
+
+class SyntheticEndpoint(Endpoint):
+    """Open-loop Bernoulli injector for one chiplet node.
+
+    Generated packets wait in an unbounded source queue when the NI
+    injection queue is full, so queueing latency is measured from message
+    creation exactly as gem5/Garnet does.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        nodes: List[int],
+        pattern: str,
+        rate: float,
+        rng: random.Random,
+        data_fraction: float = 0.5,
+        data_size: int = 5,
+        control_size: int = 1,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"injection rate {rate} out of range")
+        if pattern not in PATTERNS:
+            raise ValueError(f"unknown pattern {pattern!r}")
+        if pattern != "uniform_random":
+            _require_power_of_two(len(nodes), pattern)
+        self.index = index
+        self.nodes = nodes
+        self.pattern = pattern
+        self.pattern_fn = PATTERNS[pattern]
+        self.rng = rng
+        self.data_fraction = data_fraction
+        self.data_size = data_size
+        self.control_size = control_size
+        mean_size = data_fraction * data_size + (1 - data_fraction) * control_size
+        #: packet-injection probability per cycle for the target flit rate.
+        self.packet_rate = rate / mean_size
+        self.enabled = True
+        self._backlog: deque = deque()
+        self.generated = 0
+
+    def step(self, cycle: int) -> None:
+        """Bernoulli generation plus backlog flush into the NI."""
+        if self.enabled and self.rng.random() < self.packet_rate:
+            dst_index = self.pattern_fn(self.index, len(self.nodes), self.rng)
+            if dst_index != self.index:
+                if self.rng.random() < self.data_fraction:
+                    size, vnet = self.data_size, DATA_VNET
+                else:
+                    size, vnet = self.control_size, CONTROL_VNET
+                self._backlog.append((self.nodes[dst_index], vnet, size, cycle))
+                self.generated += 1
+        while self._backlog:
+            dst, vnet, size, created = self._backlog[0]
+            packet = self.ni.send_message(dst, vnet, size, created)
+            if packet is None:
+                break
+            self._backlog.popleft()
+
+    @property
+    def backlog_flits(self) -> int:
+        """Flits generated but not yet accepted by the NI."""
+        return sum(size for _dst, _vnet, size, _c in self._backlog)
+
+
+def install_synthetic_traffic(
+    network,
+    pattern: str,
+    rate: float,
+    data_fraction: float = 0.5,
+) -> List[SyntheticEndpoint]:
+    """Attach a synthetic injector to every chiplet node of a network."""
+    nodes = network.topo.chiplet_nodes
+    endpoints = []
+    cfg = network.cfg
+    for index, node in enumerate(nodes):
+        endpoint = SyntheticEndpoint(
+            index,
+            nodes,
+            pattern,
+            rate,
+            random.Random(network.cfg.seed * 100003 + node),
+            data_fraction=data_fraction,
+            data_size=cfg.data_packet_size,
+            control_size=cfg.control_packet_size,
+        )
+        network.nis[node].set_endpoint(endpoint)
+    # interposer NIs stay pure sinks (default Endpoint consume policy)
+    for node in network.topo.interposer_routers:
+        network.nis[node].set_endpoint(Endpoint())
+    for index, node in enumerate(nodes):
+        endpoints.append(network.nis[node].endpoint)
+    return endpoints

@@ -1,0 +1,88 @@
+"""Named benchmark profiles standing in for PARSEC / SPLASH-2 (Fig. 8).
+
+Each profile parameterises the closed-loop coherence workload of
+:mod:`repro.traffic.coherence`.  Parameters are chosen to span the load
+spectrum the paper reports: network-bound programs (``canneal``, ``fft``,
+``radix``) run at high injection pressure with poor locality — these are
+exactly the ones whose Fig. 12 upward-packet counts are large in the
+1-VC system — while compute-bound programs (``facesim``, ``barnes``,
+``raytrace``) barely stress the network.
+
+``requests_per_core`` values are scaled for a pure-Python simulator; a
+scale factor multiplies them uniformly so benches can trade fidelity for
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.traffic.coherence import WorkloadProfile
+
+
+def _profile(name, issue_rate, mlp, locality, directory_fraction, forward_fraction, requests):
+    return WorkloadProfile(
+        name=name,
+        issue_rate=issue_rate,
+        mlp=mlp,
+        locality=locality,
+        directory_fraction=directory_fraction,
+        forward_fraction=forward_fraction,
+        requests_per_core=requests,
+    )
+
+
+#: PARSEC benchmarks (Fig. 8 upper group).
+PARSEC: Dict[str, WorkloadProfile] = {
+    "blackscholes": _profile("blackscholes", 0.04, 2, 0.70, 0.15, 0.05, 60),
+    "bodytrack": _profile("bodytrack", 0.12, 3, 0.50, 0.20, 0.10, 120),
+    "canneal": _profile("canneal", 0.30, 5, 0.15, 0.25, 0.15, 160),
+    "dedup": _profile("dedup", 0.18, 4, 0.45, 0.20, 0.10, 140),
+    "facesim": _profile("facesim", 0.06, 2, 0.65, 0.15, 0.05, 70),
+    "fluidanimate": _profile("fluidanimate", 0.20, 4, 0.40, 0.20, 0.10, 120),
+    "swaptions": _profile("swaptions", 0.25, 4, 0.35, 0.20, 0.10, 150),
+    "vips": _profile("vips", 0.08, 2, 0.55, 0.15, 0.05, 90),
+}
+
+#: SPLASH-2 benchmarks (Fig. 8 lower group).
+SPLASH2: Dict[str, WorkloadProfile] = {
+    "barnes": _profile("barnes", 0.06, 2, 0.60, 0.20, 0.10, 70),
+    "cholesky": _profile("cholesky", 0.10, 3, 0.50, 0.20, 0.10, 90),
+    "fft": _profile("fft", 0.30, 5, 0.15, 0.30, 0.15, 170),
+    "lu_cb": _profile("lu_cb", 0.15, 3, 0.50, 0.20, 0.10, 110),
+    "lu_ncb": _profile("lu_ncb", 0.20, 4, 0.35, 0.25, 0.10, 120),
+    "radiosity": _profile("radiosity", 0.08, 2, 0.60, 0.15, 0.05, 80),
+    "radix": _profile("radix", 0.32, 5, 0.15, 0.30, 0.15, 180),
+    "raytrace": _profile("raytrace", 0.05, 2, 0.65, 0.15, 0.05, 60),
+    "water_nsquared": _profile("water_nsquared", 0.08, 3, 0.55, 0.20, 0.10, 80),
+    "water_spatial": _profile("water_spatial", 0.07, 3, 0.60, 0.20, 0.10, 75),
+}
+
+ALL_WORKLOADS: Dict[str, WorkloadProfile] = {**PARSEC, **SPLASH2}
+
+
+def get_workload(name: str, scale: float = 1.0) -> WorkloadProfile:
+    """Fetch a profile, optionally scaling its request quota."""
+    base = ALL_WORKLOADS[name]
+    if scale == 1.0:
+        return base
+    return WorkloadProfile(
+        name=base.name,
+        issue_rate=base.issue_rate,
+        mlp=base.mlp,
+        locality=base.locality,
+        directory_fraction=base.directory_fraction,
+        forward_fraction=base.forward_fraction,
+        requests_per_core=max(1, int(base.requests_per_core * scale)),
+    )
+
+
+def workload_names(suite: str = "all") -> List[str]:
+    """Benchmark names, by suite ("parsec" | "splash2" | "all")."""
+    if suite == "parsec":
+        return list(PARSEC)
+    if suite == "splash2":
+        return list(SPLASH2)
+    if suite == "all":
+        return list(ALL_WORKLOADS)
+    raise ValueError(f"unknown suite {suite!r}")

@@ -1,0 +1,152 @@
+"""End-to-end deadlock tests: the paper's central claims.
+
+Under the adversarial witness workload (flows saturating one CDG cycle):
+
+* the unprotected network forms a *certified* deadlock knot containing an
+  upward packet (Sec. IV theorem, dynamically);
+* UPP detects, pops up and keeps the network live, then drains clean;
+* remote control never deadlocks despite using the same cyclic routing;
+* composable routing has no constructible adversarial workload at all.
+"""
+
+import pytest
+
+from repro.metrics.deadlock import (
+    deadlocked_packets,
+    describe_deadlock,
+    knot_has_upward_packet,
+)
+from repro.noc.config import NocConfig
+from repro.schemes.none import UnprotectedScheme
+from repro.schemes.remote_control import RemoteControlScheme
+from repro.schemes.upp import UPPScheme
+from repro.sim.simulator import Simulation
+from repro.topology.chiplet import baseline_system
+from repro.traffic.adversarial import install_adversarial_traffic, witness_flows
+
+
+CFG = dict(vcs_per_vnet=1)
+
+
+def adversarial_sim(scheme, **kwargs):
+    sim = Simulation(baseline_system(), NocConfig(**CFG), scheme, **kwargs)
+    flows = witness_flows(sim.network)
+    install_adversarial_traffic(sim.network, flows)
+    return sim
+
+
+def stop_injection(net):
+    for ni in net.nis.values():
+        if hasattr(ni.endpoint, "enabled"):
+            ni.endpoint.enabled = False
+
+
+class TestUnprotectedDeadlocks:
+    def test_knot_forms_and_contains_upward_packet(self):
+        sim = adversarial_sim(UnprotectedScheme(), watchdog_window=10**9)
+        net = sim.network
+        knot = set()
+        for _ in range(40):
+            net.run(250)
+            knot = deadlocked_packets(net)
+            if knot:
+                break
+        assert knot, "no deadlock formed under adversarial traffic"
+        assert knot_has_upward_packet(net) is True
+
+    def test_knot_is_permanent(self):
+        sim = adversarial_sim(UnprotectedScheme(), watchdog_window=10**9)
+        net = sim.network
+        for _ in range(40):
+            net.run(250)
+            if deadlocked_packets(net):
+                break
+        before = deadlocked_packets(net)
+        net.run(2000)
+        after = deadlocked_packets(net)
+        assert before <= after  # deadlock is absorbing
+
+    def test_unprotected_fails_to_drain(self):
+        sim = adversarial_sim(UnprotectedScheme(), watchdog_window=10**9)
+        net = sim.network
+        for _ in range(40):
+            net.run(250)
+            if deadlocked_packets(net):
+                break
+        stop_injection(net)
+        assert not net.drain(max_cycles=30000)
+
+
+class TestUPPRecovery:
+    def test_upp_survives_and_recovers(self):
+        sim = adversarial_sim(UPPScheme(), watchdog_window=2500)
+        result = sim.run(warmup=0, measure=15000)
+        assert not result.deadlocked
+        stats = result.scheme_stats
+        assert stats["upward_packets"] > 0
+        assert stats["popups_completed"] > 0
+
+    def test_no_knot_ever_persists_under_upp(self):
+        sim = adversarial_sim(UPPScheme(), watchdog_window=10**9)
+        net = sim.network
+        persistent = 0
+        for _ in range(30):
+            net.run(400)
+            knot = deadlocked_packets(net)
+            # transient knots are expected (UPP is recovery, not
+            # avoidance); they must never survive a recovery window
+            if knot:
+                net.run(3000)
+                if deadlocked_packets(net) & knot:
+                    persistent += 1
+        assert persistent == 0
+
+    def test_upp_drains_clean_after_pressure(self):
+        sim = adversarial_sim(UPPScheme(), watchdog_window=2500)
+        sim.run(warmup=0, measure=10000)
+        net = sim.network
+        stop_injection(net)
+        assert net.drain(max_cycles=120000)
+        assert net.in_network_flits() == 0
+
+    def test_no_protocol_resource_leaks(self):
+        sim = adversarial_sim(UPPScheme(), watchdog_window=2500)
+        sim.run(warmup=0, measure=10000)
+        net = sim.network
+        stop_injection(net)
+        net.drain(max_cycles=120000)
+        net.run(3000)  # let in-flight signals settle
+        leaks = sum(
+            1 for ni in net.nis.values() for r in ni.reservations if r >= 0
+        )
+        assert leaks == 0
+        assert sum(ni.popup_overflows for ni in net.nis.values()) == 0
+
+    def test_signal_buffers_stay_tiny(self):
+        """Sec. V-B5: the contention-avoidance rules keep the dedicated
+        signal buffers from ever queueing more than a couple of entries."""
+        sim = adversarial_sim(UPPScheme(), watchdog_window=2500)
+        sim.run(warmup=0, measure=10000)
+        high_water = max(r.sig_high_water for r in sim.network.routers.values())
+        assert high_water <= 3
+
+
+class TestRemoteControlAvoidance:
+    def test_remote_control_never_deadlocks(self):
+        sim = adversarial_sim(RemoteControlScheme(), watchdog_window=2500)
+        result = sim.run(warmup=0, measure=12000)
+        assert not result.deadlocked
+        net = sim.network
+        assert not deadlocked_packets(net)
+        stop_injection(net)
+        assert net.drain(max_cycles=120000)
+
+
+class TestComposableAvoidance:
+    def test_no_adversarial_workload_constructible(self):
+        from repro.noc.network import Network
+        from repro.schemes.composable import ComposableRoutingScheme
+
+        net = Network(baseline_system(), NocConfig(**CFG), ComposableRoutingScheme())
+        with pytest.raises(ValueError):
+            witness_flows(net)

@@ -1,0 +1,98 @@
+"""Behavioural tests for the remote-control baseline's datapath."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.flit import Port
+from repro.noc.network import Network
+from repro.schemes.remote_control import RemoteControlScheme
+from repro.sim.simulator import Simulation
+from repro.topology.chiplet import baseline_system
+from repro.traffic.synthetic import install_synthetic_traffic
+
+
+def rc_network(**kwargs):
+    return Network(baseline_system(), NocConfig(vcs_per_vnet=1), RemoteControlScheme(**kwargs))
+
+
+class TestHandshakeLatency:
+    def test_inter_chiplet_packets_pay_the_handshake(self):
+        """An inter-chiplet packet's end-to-end latency exceeds an
+        equal-distance UPP packet's by at least the handshake round trip."""
+        from repro.schemes.upp import UPPScheme
+
+        latencies = {}
+        for name, scheme in (("rc", RemoteControlScheme()), ("upp", UPPScheme())):
+            net = Network(baseline_system(), NocConfig(vcs_per_vnet=1), scheme)
+            packet = net.nis[16].send_message(79, 0, 1, 0)
+            net.drain(max_cycles=5000)
+            latencies[name] = packet.total_latency
+        assert latencies["rc"] >= latencies["upp"] + 4
+
+    def test_intra_chiplet_packets_pay_nothing(self):
+        from repro.schemes.upp import UPPScheme
+
+        latencies = {}
+        for name, scheme in (("rc", RemoteControlScheme()), ("upp", UPPScheme())):
+            net = Network(baseline_system(), NocConfig(vcs_per_vnet=1), scheme)
+            packet = net.nis[16].send_message(31, 0, 1, 0)
+            net.drain(max_cycles=5000)
+            latencies[name] = packet.total_latency
+        assert latencies["rc"] == latencies["upp"]
+
+
+class TestBoundaryBuffers:
+    def test_inbound_packets_absorbed_not_buffered_in_vcs(self):
+        net = rc_network()
+        boundary = net.routing.entry_binding[21]
+        net.nis[40].send_message(21, 2, 5, 0)  # chiplet 1 -> chiplet 0
+        seen_in_buffer = False
+        for _ in range(200):
+            net.step()
+            unit = net.routers[boundary].rc_unit
+            if unit.occupancy() > 0:
+                seen_in_buffer = True
+            # the DOWN input VCs never hold inbound flits
+            iport = net.routers[boundary].in_ports.get(Port.DOWN)
+            if iport is not None:
+                assert iport.total_occupancy == 0
+        assert seen_in_buffer
+
+    def test_buffer_occupancy_bounded_by_reserved_slots(self):
+        net = rc_network()
+        endpoints = install_synthetic_traffic(net, "bit_complement", 0.3)
+        net.run(2500)
+        for boundary in net.topo.boundary_routers():
+            unit = net.routers[boundary].rc_unit
+            for vnet, peak in enumerate(unit.high_water):
+                assert peak <= unit.slots_per_vnet[vnet]
+
+    def test_grant_queue_builds_under_contention(self):
+        net = rc_network()
+        scheme = net.scheme
+        install_synthetic_traffic(net, "bit_complement", 0.3)
+        net.run(1500)
+        assert scheme.total_requests > scheme.total_grants * 0  # requests flowed
+        assert scheme.total_requests >= scheme.total_grants
+
+
+class TestDeadlockFreedomUnderSlotPressure:
+    def test_minimal_slots_still_safe(self):
+        """Even with the minimum legal slot budget (one per VNet), remote
+        control stays deadlock-free — just slower."""
+        sim = Simulation(
+            baseline_system(),
+            NocConfig(vcs_per_vnet=1),
+            RemoteControlScheme(n_slots=3),
+            watchdog_window=4000,
+        )
+        from repro.traffic.adversarial import install_adversarial_traffic, witness_flows
+
+        flows = witness_flows(sim.network)
+        install_adversarial_traffic(sim.network, flows)
+        result = sim.run(warmup=0, measure=10_000)
+        assert not result.deadlocked
+        for ni in sim.network.nis.values():
+            if hasattr(ni.endpoint, "enabled"):
+                ni.endpoint.enabled = False
+        assert sim.network.drain(max_cycles=200_000)

@@ -1,0 +1,97 @@
+"""VC modularity (Table I): chiplets with different VC counts and buffer
+depths interoperate in one system, and UPP still recovers deadlocks."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.flit import Port
+from repro.noc.network import Network
+from repro.schemes.upp import UPPScheme
+from repro.sim.simulator import Simulation
+from repro.topology.chiplet import baseline_system
+from repro.traffic.adversarial import install_adversarial_traffic, witness_flows
+from repro.traffic.synthetic import install_synthetic_traffic
+
+HETERO = {
+    0: NocConfig(vcs_per_vnet=4),
+    1: NocConfig(vcs_per_vnet=2, vc_depth=8),
+    # chiplets 2, 3 + interposer: the 1-VC default
+}
+
+
+def hetero_network(scheme=None):
+    return Network(
+        baseline_system(), NocConfig(vcs_per_vnet=1),
+        scheme if scheme is not None else UPPScheme(),
+        chiplet_cfgs=dict(HETERO),
+    )
+
+
+class TestConstruction:
+    def test_per_chiplet_vc_counts(self):
+        net = hetero_network()
+        assert len(net.routers[16].in_ports[Port.LOCAL].vcs) == 12  # chiplet 0
+        assert len(net.routers[32].in_ports[Port.LOCAL].vcs) == 6  # chiplet 1
+        assert len(net.routers[48].in_ports[Port.LOCAL].vcs) == 3  # default
+        assert len(net.routers[0].in_ports[Port.NORTH].vcs) == 3  # interposer
+
+    def test_credit_interfaces_sized_by_downstream(self):
+        net = hetero_network()
+        topo = net.topo
+        # interposer router under chiplet 0's boundary 17: its UP output
+        # mirrors the 4-VC chiplet's input VCs
+        iposer = net.routers[topo.attach_down[17]]
+        assert len(iposer.out_ports[Port.UP].credits) == 12
+        # a chiplet-0 boundary's DOWN output mirrors the 1-VC interposer
+        boundary = net.routers[17]
+        assert len(boundary.out_ports[Port.DOWN].credits) == 3
+
+    def test_vnet_count_is_global(self):
+        with pytest.raises(ValueError):
+            Network(
+                baseline_system(),
+                NocConfig(n_vnets=3),
+                UPPScheme(),
+                chiplet_cfgs={0: NocConfig(n_vnets=2)},
+            )
+
+    def test_ni_follows_its_chiplet(self):
+        net = hetero_network()
+        assert net.nis[16].cfg.vcs_per_vnet == 4
+        assert net.nis[48].cfg.vcs_per_vnet == 1
+
+
+class TestBehaviour:
+    def test_traffic_conserved_across_vc_boundaries(self):
+        net = hetero_network()
+        endpoints = install_synthetic_traffic(net, "uniform_random", 0.12)
+        net.run(2500)
+        generated = sum(e.generated for e in endpoints if hasattr(e, "generated"))
+        never = 0
+        for e in endpoints:
+            if hasattr(e, "enabled"):
+                e.enabled = False
+                never += len(e._backlog)
+                e._backlog.clear()
+        assert net.drain(max_cycles=200_000)
+        never += sum(len(q) for ni in net.nis.values() for q in ni.injection_queues)
+        ejected = sum(ni.ejected_packets for ni in net.nis.values())
+        assert generated == ejected + never
+
+    def test_upp_recovers_in_heterogeneous_system(self):
+        sim = Simulation(baseline_system(), NocConfig(vcs_per_vnet=1), UPPScheme())
+        # rebuild with per-chiplet overrides (Simulation builds internally,
+        # so construct the network directly and wrap the pressure test)
+        net = hetero_network()
+        flows = witness_flows(net)
+        install_adversarial_traffic(net, flows)
+        net.run(10_000)
+        stats = net.scheme.stats
+        # the 1-VC chiplets still deadlock and recover; the richly
+        # provisioned chiplets rarely need popups
+        assert stats.popups_completed > 0
+        for ni in net.nis.values():
+            if hasattr(ni.endpoint, "enabled"):
+                ni.endpoint.enabled = False
+        assert net.drain(max_cycles=150_000)
+        assert sum(ni.popup_overflows for ni in net.nis.values()) == 0

@@ -1,0 +1,49 @@
+"""Property tests for arbitration fairness."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.arbiter import RoundRobinArbiter
+
+
+@given(
+    n=st.integers(min_value=1, max_value=16),
+    rounds=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_grant_is_always_a_requester(n, rounds, data):
+    arbiter = RoundRobinArbiter(n)
+    for _ in range(rounds):
+        requests = data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+        granted = arbiter.grant(requests)
+        if granted is None:
+            assert not any(requests)
+        else:
+            assert requests[granted]
+
+
+@given(n=st.integers(min_value=1, max_value=16))
+@settings(max_examples=40, deadline=None)
+def test_persistent_requesters_served_within_n_grants(n):
+    """No starvation: with everyone requesting, each index wins exactly
+    once per n consecutive grants."""
+    arbiter = RoundRobinArbiter(n)
+    winners = [arbiter.grant([True] * n) for _ in range(3 * n)]
+    for start in range(0, 3 * n, n):
+        assert sorted(winners[start : start + n]) == list(range(n))
+
+
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    subset=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_sparse_grant_only_from_requesting_set(n, subset):
+    arbiter = RoundRobinArbiter(n)
+    indices = subset.draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, unique=True)
+    )
+    for _ in range(5):
+        granted = arbiter.grant_from(indices)
+        assert granted in indices

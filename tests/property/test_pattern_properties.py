@@ -1,0 +1,58 @@
+"""Property tests for synthetic traffic patterns and workload profiles."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.synthetic import bit_complement, bit_rotation, transpose, uniform_random
+
+power_of_two = st.sampled_from([4, 16, 64, 256])
+square = st.sampled_from([4, 16, 64, 256])
+
+
+@given(n=power_of_two)
+@settings(max_examples=20, deadline=None)
+def test_bit_complement_is_a_fixed_point_free_involution(n):
+    for i in range(n):
+        j = bit_complement(i, n, None)
+        assert 0 <= j < n and j != i
+        assert bit_complement(j, n, None) == i
+
+
+@given(n=power_of_two)
+@settings(max_examples=20, deadline=None)
+def test_bit_rotation_is_a_permutation(n):
+    image = {bit_rotation(i, n, None) for i in range(n)}
+    assert image == set(range(n))
+
+
+@given(n=square)
+@settings(max_examples=20, deadline=None)
+def test_transpose_is_an_involution(n):
+    for i in range(n):
+        assert transpose(transpose(i, n, None), n, None) == i
+
+
+@given(
+    n=power_of_two,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_uniform_random_valid_and_never_self(n, seed):
+    rng = random.Random(seed)
+    for i in range(0, n, max(1, n // 16)):
+        dst = uniform_random(i, n, rng)
+        assert 0 <= dst < n and dst != i
+
+
+@given(
+    n=power_of_two,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=20, deadline=None)
+def test_uniform_random_is_roughly_uniform(n, seed):
+    rng = random.Random(seed)
+    draws = [uniform_random(0, n, rng) for _ in range(n * 20)]
+    counts = {d: draws.count(d) for d in set(draws)}
+    assert len(counts) > (n - 1) * 0.5  # most targets hit

@@ -1,0 +1,95 @@
+"""Property tests on the UPP protocol state machines: random signal
+sequences must never corrupt table invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import ChipletCircuitTable, CircuitState
+from repro.core.popup import UPPStats
+from repro.core.protocol import make_req, make_stop
+from repro.noc.config import NocConfig
+from repro.noc.flit import FlitKind, Packet, Port, SignalFlit
+from repro.noc.network import Network
+from repro.schemes.upp import UPPScheme
+from repro.topology.chiplet import baseline_system
+
+_NET = Network(baseline_system(), NocConfig(), UPPScheme())
+
+signal_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["req", "ack", "stop"]),
+        st.integers(0, 2),  # vnet
+        st.integers(1, 6),  # token
+        st.booleans(),  # ack start flag
+    ),
+    max_size=40,
+)
+
+
+@given(ops=signal_ops)
+@settings(max_examples=120, deadline=None)
+def test_circuit_table_invariants_under_random_signals(ops):
+    """Whatever signal order arrives, the table keeps:
+    * at most one circuit and one tag per VNet,
+    * tags always reference a circuit-compatible VNet,
+    * every verdict is one of the three defined strings."""
+    router = _NET.routers[17]
+    table = ChipletCircuitTable(3, UPPStats())
+    for kind, vnet, token, start in ops:
+        if kind == "req":
+            sig = make_req(dst=21, vnet=vnet, input_vc=0, pid=-1, token=token)
+        elif kind == "stop":
+            sig = make_stop(dst=21, vnet=vnet, token=token)
+        else:
+            sig = SignalFlit(FlitKind.UPP_ACK, vnet, token=token)
+            sig.start = start
+        verdict = table.on_signal(router, sig, Port.DOWN, 0)
+        assert verdict in ("consume", "hold", "continue")
+        assert len(table.circuits) <= 3
+        assert len(table.tags) <= 3
+        for v, entry in table.circuits.items():
+            assert entry.state in CircuitState
+            assert 0 <= v < 3
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["req", "stop", "grant_space", "fill"]), st.integers(0, 2)),
+        max_size=50,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_ni_reservation_invariants_under_random_sequences(ops):
+    """Reservations never exceed one per VNet; free-entry accounting stays
+    within [0, capacity]; pending requests are eventually grantable."""
+    net = Network(baseline_system(), NocConfig(ejection_queue_capacity=2), UPPScheme())
+    ni = net.nis[16]
+    token = 0
+    for op, vnet in ops:
+        if op == "req":
+            token += 1
+            sig = make_req(dst=16, vnet=vnet, input_vc=0, pid=-1, token=token)
+            sig.path = [(0, None)]
+            ni.receive_signal(sig, 0)
+        elif op == "stop":
+            sig = make_stop(dst=16, vnet=vnet, token=ni.reservations[vnet])
+            if sig.token >= 0:
+                ni.receive_signal(sig, 0)
+        elif op == "fill":
+            if ni.free_ejection_entries(vnet) > 0:
+                ni.ejection_queues[vnet].append(Packet(1, 16, vnet, 1, 0))
+        else:
+            ni.consume_message(vnet)
+            ni._service_pending_reservations(0)
+        for v in range(3):
+            assert 0 <= ni.free_ejection_entries(v) <= 2
+            # at most one live reservation and one pending req per vnet
+            assert isinstance(ni.reservations[v], int)
+    # drain the PE fully: every pending request must eventually be granted
+    for _ in range(6):
+        for v in range(3):
+            ni.consume_message(v)
+        ni._service_pending_reservations(0)
+    assert all(p is None for p in ni.pending_reqs)

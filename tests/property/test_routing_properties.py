@@ -1,0 +1,90 @@
+"""Property tests for routing: termination, layer discipline, binding
+consistency and reservation-table hygiene."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.config import NocConfig
+from repro.noc.flit import FlitKind, Port, SignalFlit
+from repro.noc.network import Network
+from repro.routing.cdg import route_channels
+from repro.topology.chiplet import baseline_system
+
+_NET = Network(baseline_system(), NocConfig())
+_NODES = list(range(_NET.topo.n_routers))
+
+
+@given(
+    src=st.sampled_from(_NODES),
+    dst=st.sampled_from(_NODES),
+)
+@settings(max_examples=200, deadline=None)
+def test_every_route_terminates_and_is_well_formed(src, dst):
+    if src == dst:
+        return
+    channels = route_channels(_NET, src, dst)
+    topo = _NET.topo
+    # at most one descent and one ascent, in that order
+    downs = [i for i, (r, p) in enumerate(channels) if p == Port.DOWN]
+    ups = [i for i, (r, p) in enumerate(channels) if p in (Port.UP, Port.UP2)]
+    assert len(downs) <= 1 and len(ups) <= 1
+    if downs and ups:
+        assert downs[0] < ups[0]
+    # layer discipline: chiplet channels belong to src's or dst's chiplet
+    for rid, port in channels:
+        chiplet = topo.chiplet_of[rid]
+        if chiplet != -1:
+            assert chiplet in (topo.chiplet_of.get(src), topo.chiplet_of.get(dst))
+
+
+@given(
+    dst=st.sampled_from(_NET.topo.chiplet_nodes),
+    srcs=st.lists(st.sampled_from(_NODES), min_size=2, max_size=5, unique=True),
+)
+@settings(max_examples=100, deadline=None)
+def test_same_destination_same_entry_boundary(dst, srcs):
+    """Sec. V-B5 / V-D: all packets to one chiplet router enter through
+    the same boundary router regardless of source."""
+    topo = _NET.topo
+    entries = set()
+    for src in srcs:
+        if src == dst or topo.chiplet_of[src] == topo.chiplet_of[dst]:
+            continue
+        channels = route_channels(_NET, src, dst)
+        for rid, port in channels:
+            if port in (Port.UP, Port.UP2):
+                entries.add((rid, port))
+    assert len(entries) <= 1
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["req", "stop", "consume"]), st.integers(0, 2)),
+        max_size=40,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_reservation_table_never_leaks_or_goes_negative(ops):
+    """Random interleavings of UPP_req / UPP_stop / PE consumption keep
+    the NI's ejection accounting within bounds."""
+    net = Network(baseline_system(), NocConfig())
+    ni = net.nis[16]
+    token = 0
+    live_tokens = {}
+    for op, vnet in ops:
+        if op == "req":
+            token += 1
+            sig = SignalFlit(FlitKind.UPP_REQ, vnet, dst=16, token=token)
+            sig.path = [(0, None)]
+            ni.receive_signal(sig, 0)
+            live_tokens[vnet] = token
+        elif op == "stop" and vnet in live_tokens:
+            sig = SignalFlit(FlitKind.UPP_STOP, vnet, dst=16, token=live_tokens[vnet])
+            ni.receive_signal(sig, 0)
+        else:
+            ni.consume_message(vnet)
+        for v in range(3):
+            free = ni.free_ejection_entries(v)
+            assert 0 <= free <= net.cfg.ejection_queue_capacity

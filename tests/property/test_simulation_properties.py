@@ -1,0 +1,71 @@
+"""Property tests at the whole-simulation level: conservation, liveness
+and determinism across randomly drawn small scenarios."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.schemes.upp import UPPScheme
+from repro.topology.chiplet import baseline_system
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    messages=st.lists(
+        st.tuples(
+            st.integers(16, 79),  # src (chiplet nodes)
+            st.integers(0, 79),  # dst (any node incl. directories)
+            st.integers(0, 2),  # vnet
+            st.sampled_from([1, 5]),  # size
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_any_message_batch_is_delivered_exactly_once(seed, messages):
+    """Whatever batch of messages is injected into an idle UPP-protected
+    network, every one of them is ejected exactly once and the network
+    drains to empty."""
+    net = Network(baseline_system(), NocConfig(seed=seed), UPPScheme())
+    expected = 0
+    for src, dst, vnet, size in messages:
+        if src == dst:
+            continue
+        if net.nis[src].send_message(dst, vnet, size, 0) is not None:
+            expected += 1
+    assert net.drain(max_cycles=50_000)
+    ejected = sum(ni.ejected_packets for ni in net.nis.values())
+    assert ejected == expected
+    assert net.occupancy() == 0
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_idle_network_stays_idle(seed):
+    net = Network(baseline_system(), NocConfig(seed=seed), UPPScheme())
+    net.run(200)
+    assert net.activity == 0
+    assert net.occupancy() == 0
+
+
+@given(
+    seed=st.integers(0, 2**10),
+    size=st.sampled_from([1, 2, 5]),
+    pair=st.tuples(st.integers(16, 79), st.integers(16, 79)),
+)
+@settings(max_examples=40, deadline=None)
+def test_latency_is_deterministic_per_seed(seed, size, pair):
+    src, dst = pair
+    if src == dst:
+        return
+    latencies = []
+    for _ in range(2):
+        net = Network(baseline_system(), NocConfig(seed=seed), UPPScheme())
+        packet = net.nis[src].send_message(dst, 0, size, 0)
+        net.drain(max_cycles=10_000)
+        latencies.append(packet.network_latency)
+    assert latencies[0] == latencies[1]

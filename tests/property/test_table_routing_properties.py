@@ -1,0 +1,77 @@
+"""Property tests for table-driven routing over random irregular layers."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.flit import Port
+from repro.routing.updown import build_updown_routing, spanning_tree_depths
+from repro.topology.chiplet import build_system
+from repro.topology.faults import inject_faults
+
+
+@given(
+    n_faults=st.integers(0, 14),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=25, deadline=None)
+def test_updown_routes_all_pairs_loop_free(n_faults, seed):
+    """For any connectivity-preserving fault set, up*/down* tables route
+    every same-layer pair without loops (path_length raises on a loop)."""
+    topo = build_system()
+    if n_faults:
+        inject_faults(topo, n_faults, random.Random(seed))
+    members = topo.chiplet_routers(seed % 4)
+    table = build_updown_routing(topo, members)
+    for src in members:
+        for dst in members:
+            if src != dst:
+                length = table.path_length(src, Port.LOCAL, dst)
+                assert length is not None
+                assert 1 <= length <= 4 * len(members)
+
+
+@given(
+    n_faults=st.integers(0, 14),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=25, deadline=None)
+def test_updown_turn_graph_is_acyclic(n_faults, seed):
+    """The up*/down* channel-dependency graph of one layer is acyclic —
+    the property that makes it a valid *local* deadlock-free routing."""
+    import networkx as nx
+
+    topo = build_system()
+    if n_faults:
+        inject_faults(topo, n_faults, random.Random(seed))
+    members = topo.interposer_routers
+    table = build_updown_routing(topo, members)
+    graph = nx.DiGraph()
+    for src in members:
+        for dst in members:
+            if src == dst:
+                continue
+            walk = table.walk(src, Port.LOCAL, dst)
+            channels = [(u, p) for u, p in walk]
+            for a, b in zip(channels, channels[1:]):
+                graph.add_edge(a, b)
+    assert nx.is_directed_acyclic_graph(graph)
+
+
+@given(seed=st.integers(0, 500), n_faults=st.integers(0, 10))
+@settings(max_examples=20, deadline=None)
+def test_depths_define_a_tree(seed, n_faults):
+    topo = build_system()
+    if n_faults:
+        inject_faults(topo, n_faults, random.Random(seed))
+    depth = spanning_tree_depths(topo, topo.interposer_routers)
+    root = min(topo.interposer_routers)
+    assert depth[root] == 0
+    for rid, d in depth.items():
+        if rid == root:
+            continue
+        # some healthy neighbour is exactly one level up
+        assert any(
+            depth[nbr] == d - 1 for nbr, _p in topo.layer_neighbors(rid)
+        )

@@ -1,0 +1,86 @@
+"""Property tests over topology construction and fault injection."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.binding import compute_binding
+from repro.topology.chiplet import build_system
+from repro.topology.faults import inject_faults
+from repro.topology.mesh import coord_of, index_of
+
+grids = st.sampled_from([(2, 2), (2, 4), (1, 2), (2, 1)])
+boundaries = st.sampled_from([2, 4, 8])
+
+
+def _make(grid, boundary):
+    rows = 2 * grid[0]
+    cols = 2 * grid[1]
+    return build_system(
+        interposer_shape=(rows, cols),
+        chiplet_grid=grid,
+        boundary_per_chiplet=boundary,
+    )
+
+
+@given(grid=grids, boundary=boundaries)
+@settings(max_examples=30, deadline=None)
+def test_attach_maps_consistent(grid, boundary):
+    topo = _make(grid, boundary)
+    for b, iposer in topo.attach_down.items():
+        assert b in topo.attach_up[iposer]
+        assert topo.is_interposer(iposer)
+        assert not topo.is_interposer(b)
+    # every boundary belongs to exactly one chiplet's boundary list
+    seen = []
+    for chiplet in range(topo.n_chiplets):
+        seen.extend(topo.boundary_routers(chiplet))
+    assert sorted(seen) == sorted(topo.attach_down)
+
+
+@given(grid=grids, boundary=boundaries)
+@settings(max_examples=30, deadline=None)
+def test_links_are_paired(grid, boundary):
+    """Every link has a reverse companion (full duplex)."""
+    topo = _make(grid, boundary)
+    endpoints = {(l.src, l.dst) for l in topo.links}
+    for src, dst in endpoints:
+        assert (dst, src) in endpoints
+
+
+@given(grid=grids, boundary=boundaries, seed=st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_binding_total_and_local(grid, boundary, seed):
+    topo = _make(grid, boundary)
+    binding = compute_binding(topo, random.Random(seed))
+    assert set(binding) == set(topo.chiplet_nodes)
+    for rid, b in binding.items():
+        assert topo.chiplet_of[rid] == topo.chiplet_of[b]
+
+
+@given(
+    n_faults=st.integers(min_value=0, max_value=12),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_fault_injection_preserves_layer_connectivity(n_faults, seed):
+    import networkx as nx
+
+    topo = build_system()
+    if n_faults:
+        inject_faults(topo, n_faults, random.Random(seed))
+    graph = nx.Graph()
+    for low, high in topo.mesh_link_pairs():
+        if (low, high) not in topo.faulty:
+            graph.add_edge(low, high)
+    for members in [topo.interposer_routers] + [
+        topo.chiplet_routers(c) for c in range(topo.n_chiplets)
+    ]:
+        assert nx.is_connected(graph.subgraph(members))
+
+
+@given(idx=st.integers(0, 255), cols=st.integers(1, 32))
+@settings(max_examples=50, deadline=None)
+def test_coord_index_roundtrip(idx, cols):
+    assert index_of(coord_of(idx, cols), cols) == idx

@@ -1,0 +1,39 @@
+"""Tests for the benchmark harness scaling knobs."""
+
+import importlib
+
+import pytest
+
+from benchmarks import common
+
+
+class TestScaling:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert common.bench_scale() == 1.0
+        assert common.scaled(1000) == 1000
+
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert common.scaled(1000) == 2500
+
+    def test_scale_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
+        assert common.scaled(1000) == 200  # never below the floor
+
+    def test_full_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert common.full_mode()
+        monkeypatch.setenv("REPRO_BENCH_FULL", "0")
+        assert not common.full_mode()
+
+
+class TestPrinting:
+    def test_print_series_formats_floats(self, capsys):
+        common.print_series("t", ["a", "b"], [["x", 1.23456]])
+        out = capsys.readouterr().out
+        assert "1.2346" in out and "=== t ===" in out
+
+    def test_print_normalized(self, capsys):
+        common.print_normalized("t", {"upp": {"norm": 0.9}}, "norm")
+        assert "0.9000" in capsys.readouterr().out

@@ -1,0 +1,108 @@
+"""CDG tests: the paper's structural claims.
+
+* The unrestricted Sec. V-D routing has a cyclic CDG (deadlocks possible).
+* **Every** cycle in that CDG crosses an upward vertical channel — the key
+  theorem of Sec. IV that justifies recovering via upward-packet popup.
+* Composable routing's restricted CDG is acyclic (deadlocks impossible).
+"""
+
+import networkx as nx
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.routing.cdg import (
+    build_system_cdg,
+    cycles_all_contain_upward_channel,
+    is_deadlock_free,
+    route_channels,
+)
+from repro.schemes.composable import ComposableRoutingScheme
+from repro.schemes.upp import UPPScheme
+from repro.topology.chiplet import baseline_system, build_system
+
+
+@pytest.fixture(scope="module")
+def upp_net():
+    return Network(baseline_system(), NocConfig(), UPPScheme())
+
+
+class TestUnrestrictedCDG:
+    def test_cdg_is_cyclic(self, upp_net):
+        assert not is_deadlock_free(upp_net)
+
+    def test_every_cycle_contains_an_upward_channel(self, upp_net):
+        """Sec. IV: an integration-induced deadlock always involves an
+        upward packet.  Structurally: every CDG cycle crosses an UP
+        channel out of an interposer router."""
+        assert cycles_all_contain_upward_channel(upp_net)
+
+    def test_chiplet_local_cdg_acyclic(self, upp_net):
+        """Each chiplet alone (XY) is deadlock-free: modular local
+        correctness."""
+        for chiplet in range(4):
+            nodes = upp_net.topo.chiplet_routers(chiplet)
+            graph = build_system_cdg(upp_net, nodes)
+            assert nx.is_directed_acyclic_graph(graph)
+
+    def test_interposer_local_cdg_acyclic(self, upp_net):
+        nodes = upp_net.topo.interposer_routers
+        graph = build_system_cdg(upp_net, nodes)
+        assert nx.is_directed_acyclic_graph(graph)
+
+
+class TestComposableCDG:
+    def test_full_system_acyclic(self):
+        net = Network(baseline_system(), NocConfig(), ComposableRoutingScheme())
+        assert is_deadlock_free(net)
+
+    def test_acyclic_with_two_boundaries(self):
+        net = Network(
+            build_system(boundary_per_chiplet=2),
+            NocConfig(),
+            ComposableRoutingScheme(),
+        )
+        assert is_deadlock_free(net)
+
+
+class TestRouteChannels:
+    def test_route_terminates(self, upp_net):
+        channels = route_channels(upp_net, 16, 79)
+        assert channels
+        assert channels[0][0] == 16
+
+    def test_intra_route_stays_in_chiplet(self, upp_net):
+        for rid, _port in route_channels(upp_net, 16, 31):
+            assert upp_net.topo.chiplet_of[rid] == 0
+
+
+class TestLargeSystemCDG:
+    """The Sec. IV theorem is topology-generic: check it on the 128-node
+    system and on a heterogeneous integration too."""
+
+    def test_large_system_cycles_contain_upward_channels(self):
+        from repro.topology.chiplet import large_system
+
+        net = Network(large_system(), NocConfig(), UPPScheme())
+        assert not is_deadlock_free(net)
+        assert cycles_all_contain_upward_channel(net, max_cycles=300)
+
+    def test_heterogeneous_system_cycles_contain_upward_channels(self):
+        from repro.topology.chiplet import build_heterogeneous_system
+
+        topo = build_heterogeneous_system(
+            (4, 4),
+            [
+                {"shape": (4, 4), "origin": (0, 0), "footprint": (2, 2),
+                 "boundary": [(0, 1), (0, 2), (3, 1), (3, 2)]},
+                {"shape": (2, 4), "origin": (0, 2), "footprint": (2, 2),
+                 "boundary": [(0, 1), (1, 2)]},
+                {"shape": (3, 3), "origin": (2, 0), "footprint": (2, 2),
+                 "boundary": [(0, 1), (2, 1)]},
+                {"shape": (2, 2), "origin": (2, 2), "footprint": (2, 2),
+                 "boundary": [(0, 0), (1, 1)]},
+            ],
+        )
+        net = Network(topo, NocConfig(), UPPScheme())
+        if not is_deadlock_free(net):
+            assert cycles_all_contain_upward_channel(net, max_cycles=300)

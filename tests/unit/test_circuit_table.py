@@ -1,0 +1,169 @@
+"""Unit tests for the chiplet circuit tables (Sec. V-B3, V-C)."""
+
+import pytest
+
+from repro.core.circuit import ChipletCircuitTable, CircuitState
+from repro.core.popup import UPPStats
+from repro.core.protocol import make_req, make_stop
+from repro.noc.config import NocConfig
+from repro.noc.flit import FlitKind, Packet, Port, SignalFlit
+from repro.noc.network import Network
+from repro.schemes.upp import UPPScheme
+from repro.topology.chiplet import baseline_system
+
+
+@pytest.fixture
+def net():
+    return Network(baseline_system(), NocConfig(), UPPScheme())
+
+
+def router_table(net, rid):
+    router = net.routers[rid]
+    return router, router.upp_tables
+
+
+class TestCircuitRecording:
+    def test_req_records_connection(self, net):
+        router, table = router_table(net, 17)  # boundary of chiplet 0
+        req = make_req(dst=21, vnet=0, input_vc=0, pid=-1, token=7)
+        verdict = table.on_signal(router, req, Port.DOWN, 0)
+        assert verdict == "continue"
+        entry = table.circuits[0]
+        assert entry.in_port == Port.DOWN
+        assert entry.state == CircuitState.RECORDED
+
+    def test_req_to_self_records_local(self, net):
+        router, table = router_table(net, 17)
+        req = make_req(dst=17, vnet=1, input_vc=0, pid=-1, token=8)
+        table.on_signal(router, req, Port.DOWN, 0)
+        assert table.circuits[1].out_port == Port.LOCAL
+
+    def test_circuit_lookup_requires_matching_in_port(self, net):
+        router, table = router_table(net, 17)
+        req = make_req(dst=21, vnet=0, input_vc=0, pid=-1, token=7)
+        table.on_signal(router, req, Port.DOWN, 0)
+        assert table.circuit_out(0, Port.EAST) is None
+        out = table.circuit_out(0, Port.DOWN)
+        assert out is not None
+        assert table.circuits[0].state == CircuitState.ACTIVE
+
+    def test_active_circuit_holds_new_reqs(self, net):
+        router, table = router_table(net, 17)
+        req1 = make_req(dst=21, vnet=0, input_vc=0, pid=-1, token=7)
+        table.on_signal(router, req1, Port.DOWN, 0)
+        table.circuit_out(0, Port.DOWN)  # popup in flight
+        req2 = make_req(dst=25, vnet=0, input_vc=0, pid=-1, token=9)
+        assert table.on_signal(router, req2, Port.DOWN, 1) == "hold"
+        assert table.held_reqs == 1
+
+    def test_recorded_circuit_serialises_new_reqs(self, net):
+        """Even an un-acked circuit holds later same-VNet reqs: the first
+        attempt's popup may still launch, and an overwrite would misroute
+        its flits.  The entry is freed by the attempt's stop or tail."""
+        router, table = router_table(net, 17)
+        req1 = make_req(dst=21, vnet=0, input_vc=0, pid=-1, token=7)
+        table.on_signal(router, req1, Port.DOWN, 0)
+        req2 = make_req(dst=25, vnet=0, input_vc=0, pid=-1, token=9)
+        assert table.on_signal(router, req2, Port.DOWN, 1) == "hold"
+        stop = make_stop(dst=21, vnet=0, token=7)
+        table.on_signal(router, stop, Port.DOWN, 2)
+        assert table.on_signal(router, req2, Port.DOWN, 3) == "continue"
+        assert table.circuits[0].token == 9
+
+    def test_release_on_tail(self, net):
+        router, table = router_table(net, 17)
+        req = make_req(dst=21, vnet=0, input_vc=0, pid=-1, token=7)
+        table.on_signal(router, req, Port.DOWN, 0)
+        table.release(0, Port.DOWN)
+        assert 0 not in table.circuits
+
+
+class TestWormholeTagging:
+    def _plant_worm(self, net, rid=17, vnet=0, with_head=True):
+        router, table = router_table(net, rid)
+        vc = router.in_ports[Port.DOWN].vcs[vnet]
+        packet = Packet(4, 21, vnet, 5, 0)
+        flits = packet.make_flits()
+        start = 0 if with_head else 2
+        if not with_head:
+            vc.active_pid = packet.pid
+        for flit in flits[start : start + 3]:
+            vc.push(flit, 0)
+        return router, table, vc, packet
+
+    def test_req_tags_vc_holding_head(self, net):
+        router, table, vc, packet = self._plant_worm(net)
+        req = make_req(dst=21, vnet=0, input_vc=0, pid=packet.pid, token=7)
+        table.on_signal(router, req, Port.DOWN, 0)
+        assert vc.popup_tagged
+        assert table.tags[0].pid == packet.pid
+        assert not table.tags[0].armed
+
+    def test_req_does_not_tag_headless_vc(self, net):
+        router, table, vc, packet = self._plant_worm(net, with_head=False)
+        req = make_req(dst=21, vnet=0, input_vc=0, pid=packet.pid, token=7)
+        table.on_signal(router, req, Port.DOWN, 0)
+        assert not vc.popup_tagged
+        assert 0 not in table.tags
+
+    def test_ack_arms_tag_and_sets_start(self, net):
+        router, table, vc, packet = self._plant_worm(net)
+        req = make_req(dst=21, vnet=0, input_vc=0, pid=packet.pid, token=7)
+        table.on_signal(router, req, Port.DOWN, 0)
+        ack = SignalFlit(FlitKind.UPP_ACK, 0, token=7)
+        verdict = table.on_signal(router, ack, Port.WEST, 5)
+        assert verdict == "continue"
+        assert ack.start is True
+        assert table.tags[0].armed
+        assert table.circuits[0].state == CircuitState.ACTIVE
+
+    def test_ack_dropped_when_head_departed(self, net):
+        router, table, vc, packet = self._plant_worm(net)
+        req = make_req(dst=21, vnet=0, input_vc=0, pid=packet.pid, token=7)
+        table.on_signal(router, req, Port.DOWN, 0)
+        vc.pop()  # the head moves on normally before the ack returns
+        ack = SignalFlit(FlitKind.UPP_ACK, 0, token=7)
+        verdict = table.on_signal(router, ack, Port.WEST, 5)
+        assert verdict == "consume"
+        assert 0 not in table.tags
+        assert not vc.popup_tagged
+
+    def test_stop_clears_unarmed_tag(self, net):
+        """An aborted attempt's stop must unfreeze the tagged VC, or it
+        would be excluded from switch allocation forever."""
+        router, table, vc, packet = self._plant_worm(net)
+        req = make_req(dst=21, vnet=0, input_vc=0, pid=packet.pid, token=7)
+        table.on_signal(router, req, Port.DOWN, 0)
+        stop = make_stop(dst=21, vnet=0, token=7)
+        assert table.on_signal(router, stop, Port.DOWN, 5) == "continue"
+        assert 0 not in table.tags
+        assert not vc.popup_tagged
+        assert 0 not in table.circuits
+
+    def test_tagged_vc_excluded_from_switch_allocation(self, net):
+        router, table, vc, packet = self._plant_worm(net)
+        req = make_req(dst=21, vnet=0, input_vc=0, pid=packet.pid, token=7)
+        table.on_signal(router, req, Port.DOWN, 0)
+        router.wake()
+        net.run(10)
+        # despite eligible flits and free outputs, the worm stays put
+        assert vc.queue and vc.queue[0].is_header
+
+    def test_armed_drain_delivers_via_circuit(self, net):
+        router, table, vc, packet = self._plant_worm(net)
+        vc.out_port = Port.NORTH
+        req = make_req(dst=21, vnet=0, input_vc=0, pid=packet.pid, token=7)
+        table.on_signal(router, req, Port.DOWN, 0)
+        ack = SignalFlit(FlitKind.UPP_ACK, 0, token=7)
+        table.on_signal(router, ack, Port.WEST, 1)
+        net.nis[21].reservations[0] = 7
+        router.wake()
+        # the remaining flits "arrive from the interposer" as space frees
+        for flit in packet.make_flits()[3:]:
+            net.run(5)
+            vc.push(flit, net.cycle)
+            router.wake()
+        net.run(40)
+        assert net.nis[21].popup_ejections == 1
+        assert 0 not in table.tags
+        assert packet.ejected_cycle > 0

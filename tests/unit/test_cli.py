@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.scheme == "upp"
+        assert args.pattern == "uniform_random"
+        assert args.vcs == 1
+
+    def test_workload_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workload", "not_a_benchmark"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "routers        : 80" in out
+        assert "modular/upp" in out
+
+    def test_info_large(self, capsys):
+        assert main(["info", "--topology", "large"]) == 0
+        assert "routers        : 160" in capsys.readouterr().out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "135,093" in out
+        assert "upp" in out
+
+    def test_sweep_small(self, capsys):
+        code = main(["sweep", "--rates", "0.02", "--warmup", "200", "--measure", "600"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saturation throughput" in out
+
+    def test_workload_small(self, capsys):
+        code = main(["workload", "blackscholes", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "upp" in out and "composable" in out

@@ -1,0 +1,57 @@
+"""Unit tests for protocol encoding, tokens and the UPP config."""
+
+import pytest
+
+from repro.core.config import UPPConfig
+from repro.core.protocol import (
+    ACK_BITS,
+    REQ_STOP_BITS,
+    SIGNAL_BUFFER_BITS,
+    make_req,
+    make_stop,
+    new_token,
+)
+from repro.noc.flit import FlitKind
+
+
+class TestEncoding:
+    def test_field_widths_match_fig4(self):
+        assert REQ_STOP_BITS == 18
+        assert ACK_BITS == 9
+
+    def test_buffers_are_32_bit(self):
+        assert SIGNAL_BUFFER_BITS == 32
+        assert REQ_STOP_BITS <= SIGNAL_BUFFER_BITS
+        assert ACK_BITS <= SIGNAL_BUFFER_BITS
+
+    def test_make_req(self):
+        req = make_req(dst=20, vnet=1, input_vc=2, pid=7, token=33)
+        assert req.kind == FlitKind.UPP_REQ
+        assert (req.dst, req.vnet, req.input_vc, req.pid, req.token) == (20, 1, 2, 7, 33)
+
+    def test_make_stop(self):
+        stop = make_stop(dst=20, vnet=1, token=33)
+        assert stop.kind == FlitKind.UPP_STOP
+        assert stop.token == 33
+
+    def test_tokens_monotone(self):
+        a, b = new_token(), new_token()
+        assert b > a
+
+
+class TestUPPConfig:
+    def test_defaults_match_table2(self):
+        cfg = UPPConfig()
+        assert cfg.detection_threshold == 20
+
+    def test_gap_matches_data_packet(self):
+        # Sec. V-B5: Size_of_Data_Packet + 1
+        assert UPPConfig().signal_min_gap == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UPPConfig(detection_threshold=0)
+        with pytest.raises(ValueError):
+            UPPConfig(detection_threshold=100, ack_timeout=50)
+        with pytest.raises(ValueError):
+            UPPConfig(signal_min_gap=0)

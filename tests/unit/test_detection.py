@@ -1,0 +1,97 @@
+"""Unit tests for UPP deadlock detection (Sec. V-A)."""
+
+import pytest
+
+from repro.core.detection import UPPDetector
+from repro.noc.config import NocConfig
+from repro.noc.flit import Packet, Port
+from repro.noc.network import Network
+from repro.topology.chiplet import baseline_system
+
+
+class TestTimeoutCounter:
+    def test_counter_triggers_at_threshold(self):
+        det = UPPDetector(n_vnets=1, threshold=3)
+        det.observe(0, stalled=True, sent=False)
+        assert not det.tick(0, True)
+        assert not det.tick(0, True)
+        assert det.tick(0, True)
+        assert det.detections == 1
+
+    def test_counter_resets_when_up_port_moves(self):
+        det = UPPDetector(1, threshold=3)
+        det.observe(0, stalled=True, sent=False)
+        det.tick(0, True)
+        det.tick(0, True)
+        det.observe(0, stalled=True, sent=True)  # something went up
+        assert not det.tick(0, True)
+        det.observe(0, stalled=True, sent=False)
+        assert not det.tick(0, True)  # counter restarted from zero
+        assert not det.tick(0, True)
+        assert det.tick(0, True)
+
+    def test_counter_resets_without_stall(self):
+        det = UPPDetector(1, threshold=2)
+        det.observe(0, stalled=False, sent=False)
+        assert not det.tick(0, True)
+        assert not det.tick(0, True)
+
+    def test_counting_disabled_during_popup(self):
+        det = UPPDetector(1, threshold=2)
+        det.observe(0, stalled=True, sent=False)
+        assert not det.tick(0, counting_enabled=False)
+        assert not det.tick(0, counting_enabled=False)
+        assert det.counters[0] == 0
+
+    def test_vnets_independent(self):
+        det = UPPDetector(3, threshold=2)
+        det.observe(1, stalled=True, sent=False)
+        det.observe(0, stalled=False, sent=False)
+        det.tick(0, True)
+        det.tick(1, True)
+        assert det.counters[1] == 1 and det.counters[0] == 0
+
+
+class TestUpwardSelection:
+    def _router_with_stalled_up(self, vnet=0):
+        net = Network(baseline_system(), NocConfig())
+        router = net.routers[0]  # interposer
+        # plant a packet in the UP input VC whose route goes back UP
+        vc = router.in_ports[Port.NORTH].vcs[vnet]
+        packet = Packet(40, 20, vnet, 1, 0)
+        vc.push(packet.make_flits()[0], 0)
+        vc.out_port = Port.UP
+        return net, router, vc, packet
+
+    def test_selects_stalled_upward_vc(self):
+        net, router, vc, packet = self._router_with_stalled_up()
+        det = UPPDetector(3, threshold=2)
+        selection = det.select_upward(router, 0)
+        assert selection is not None
+        port, vc_index = selection
+        assert port == Port.NORTH and vc_index == vc.vc_index
+
+    def test_returns_none_without_candidates(self):
+        net = Network(baseline_system(), NocConfig())
+        det = UPPDetector(3, threshold=2)
+        assert det.select_upward(net.routers[0], 0) is None
+
+    def test_wrong_vnet_not_selected(self):
+        net, router, vc, packet = self._router_with_stalled_up(vnet=1)
+        det = UPPDetector(3, threshold=2)
+        assert det.select_upward(router, 0) is None
+        assert det.select_upward(router, 1) is not None
+
+    def test_round_robin_across_candidates(self):
+        net = Network(baseline_system(), NocConfig())
+        router = net.routers[0]
+        chosen = set()
+        det = UPPDetector(3, threshold=2)
+        for port in (Port.NORTH, Port.EAST):
+            vc = router.in_ports[port].vcs[0]
+            packet = Packet(40, 20, 0, 1, 0)
+            vc.push(packet.make_flits()[0], 0)
+            vc.out_port = Port.UP
+        for _ in range(4):
+            chosen.add(det.select_upward(router, 0)[0])
+        assert chosen == {Port.NORTH, Port.EAST}

@@ -1,0 +1,95 @@
+"""Unit tests for the flit/packet data model."""
+
+import pytest
+
+from repro.noc.flit import (
+    OPPOSITE,
+    Flit,
+    FlitKind,
+    Packet,
+    Port,
+    SignalFlit,
+    UPWARD_PORTS,
+)
+
+
+def make_packet(size=5, src=0, dst=1, vnet=0, created=10):
+    return Packet(src, dst, vnet, size, created)
+
+
+class TestPacket:
+    def test_single_flit_packet_is_head_tail(self):
+        flits = make_packet(size=1).make_flits()
+        assert len(flits) == 1
+        assert flits[0].kind == FlitKind.HEAD_TAIL
+        assert flits[0].is_header and flits[0].is_tail
+
+    def test_multi_flit_packet_structure(self):
+        flits = make_packet(size=5).make_flits()
+        assert [f.kind for f in flits] == [
+            FlitKind.HEAD,
+            FlitKind.BODY,
+            FlitKind.BODY,
+            FlitKind.BODY,
+            FlitKind.TAIL,
+        ]
+        assert [f.seq for f in flits] == list(range(5))
+
+    def test_two_flit_packet_has_no_body(self):
+        flits = make_packet(size=2).make_flits()
+        assert [f.kind for f in flits] == [FlitKind.HEAD, FlitKind.TAIL]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(0, 1, 0, 0, 0)
+
+    def test_self_addressed_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(3, 3, 0, 1, 0)
+
+    def test_latency_accounting(self):
+        packet = make_packet(created=10)
+        packet.injected_cycle = 25
+        packet.ejected_cycle = 60
+        assert packet.queueing_latency == 15
+        assert packet.network_latency == 35
+        assert packet.total_latency == 50
+
+    def test_latency_before_ejection_raises(self):
+        packet = make_packet()
+        with pytest.raises(ValueError):
+            _ = packet.network_latency
+        with pytest.raises(ValueError):
+            _ = packet.total_latency
+
+    def test_packet_ids_unique(self):
+        a, b = make_packet(), make_packet()
+        assert a.pid != b.pid
+
+
+class TestSignalFlit:
+    def test_signal_kind_enforced(self):
+        with pytest.raises(ValueError):
+            SignalFlit(FlitKind.HEAD, vnet=0)
+
+    def test_req_fields(self):
+        sig = SignalFlit(FlitKind.UPP_REQ, vnet=2, dst=17, input_vc=3, token=9)
+        assert sig.vnet == 2 and sig.dst == 17
+        assert sig.input_vc == 3 and sig.token == 9
+        assert sig.start is False
+        assert sig.path == []
+
+
+class TestPorts:
+    def test_opposite_is_involution_for_mesh_ports(self):
+        for port in (Port.NORTH, Port.SOUTH, Port.EAST, Port.WEST):
+            assert OPPOSITE[OPPOSITE[port]] == port
+
+    def test_vertical_opposites(self):
+        assert OPPOSITE[Port.UP] == Port.DOWN
+        assert OPPOSITE[Port.DOWN] == Port.UP
+        assert OPPOSITE[Port.UP2] == Port.DOWN
+
+    def test_upward_ports(self):
+        assert Port.UP in UPWARD_PORTS and Port.UP2 in UPWARD_PORTS
+        assert Port.DOWN not in UPWARD_PORTS

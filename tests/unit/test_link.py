@@ -1,0 +1,57 @@
+"""Unit tests for link pipelines."""
+
+import pytest
+
+from repro.noc.buffer import Credit
+from repro.noc.flit import Packet, Port
+from repro.noc.link import Link
+
+
+def flit():
+    return Packet(0, 1, 0, 1, 0).make_flits()[0]
+
+
+class TestLink:
+    def test_delivery_after_latency(self):
+        link = Link(0, 1, Port.EAST, latency=2)
+        f = flit()
+        link.send_flit(f, 0, cycle=10)
+        assert list(link.deliver_flits(10)) == []
+        assert list(link.deliver_flits(11)) == []
+        assert list(link.deliver_flits(12)) == [(f, 0)]
+        assert link.in_flight == 0
+
+    def test_fifo_order(self):
+        link = Link(0, 1, Port.EAST)
+        a, b = flit(), flit()
+        link.send_flit(a, 0, cycle=0)
+        link.send_flit(b, 1, cycle=1)
+        delivered = list(link.deliver_flits(5))
+        assert delivered == [(a, 0), (b, 1)]
+
+    def test_dst_port_derived_from_src_port(self):
+        link = Link(3, 4, Port.NORTH)
+        assert link.dst_port == Port.SOUTH
+
+    def test_credit_path(self):
+        link = Link(0, 1, Port.WEST)
+        link.send_credit(Credit(0, True), cycle=4)
+        assert list(link.deliver_credits(4)) == []
+        credits = list(link.deliver_credits(5))
+        assert len(credits) == 1 and credits[0].vc_free
+
+    def test_faulty_link_rejects_traffic(self):
+        link = Link(0, 1, Port.EAST)
+        link.faulty = True
+        with pytest.raises(RuntimeError):
+            link.send_flit(flit(), 0, 0)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Link(0, 1, Port.EAST, latency=0)
+
+    def test_flits_carried_counter(self):
+        link = Link(0, 1, Port.EAST)
+        for i in range(3):
+            link.send_flit(flit(), 0, i)
+        assert link.flits_carried == 3

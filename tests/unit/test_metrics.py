@@ -1,0 +1,158 @@
+"""Unit tests for stats, energy and area models."""
+
+import pytest
+
+from repro.metrics.area import (
+    PAPER_BASELINE_AREA,
+    baseline_router_area,
+    composable_overhead,
+    figure14_table,
+    remote_control_chiplet_overhead,
+    upp_chiplet_overhead,
+    upp_interposer_overhead,
+)
+from repro.metrics.energy import EnergyBreakdown, constants_for, network_energy
+from repro.metrics.stats import LatencyAccumulator, SimulationStats
+from repro.noc.config import NocConfig
+from repro.noc.flit import Packet
+from repro.sim.presets import table2_config
+
+
+class TestLatencyAccumulator:
+    def test_empty_mean_is_zero(self):
+        assert LatencyAccumulator().mean == 0.0
+
+    def test_accumulation(self):
+        acc = LatencyAccumulator()
+        for v in (10, 20, 30):
+            acc.add(v)
+        assert acc.mean == 20 and acc.maximum == 30 and acc.count == 3
+
+
+class TestSimulationStats:
+    def _packet(self, created, injected, ejected, vnet=0, size=1):
+        packet = Packet(0, 1, vnet, size, created)
+        packet.injected_cycle = injected
+        packet.ejected_cycle = ejected
+        return packet
+
+    def test_warmup_packets_excluded(self):
+        stats = SimulationStats(3, 64)
+        stats.on_eject(self._packet(0, 5, 50))
+        stats.begin_window(100)
+        stats.on_eject(self._packet(50, 60, 120))  # created pre-window
+        stats.on_eject(self._packet(110, 112, 150))
+        assert stats.ejected_packets == 1
+        assert stats.network_latency.mean == 38
+
+    def test_throughput_counts_window_flits(self):
+        stats = SimulationStats(3, 64)
+        stats.begin_window(0)
+        stats.on_eject(self._packet(1, 2, 10, size=5))
+        stats.end_window(100)
+        assert stats.throughput(100) == pytest.approx(5 / (100 * 64))
+
+    def test_post_window_ejections_excluded(self):
+        stats = SimulationStats(3, 64)
+        stats.begin_window(0)
+        stats.end_window(100)
+        stats.on_eject(self._packet(50, 60, 150))
+        assert stats.ejected_packets == 0
+
+
+class TestEnergyModel:
+    def test_constants_configs(self):
+        assert constants_for(4).buffer_write > constants_for(1).buffer_write
+        with pytest.raises(ValueError):
+            constants_for(2)
+
+    def test_breakdown_totals(self):
+        br = EnergyBreakdown(1, 2, 3, 4, 5, 100)
+        assert br.dynamic == 15 and br.total == 115
+
+    def test_static_dominates_light_load(self):
+        """Sec. VI-D: real-benchmark loads are light, so static power
+        dominates — normalized energy then tracks runtime."""
+        from repro.noc.network import Network
+        from repro.topology.chiplet import baseline_system
+
+        net = Network(baseline_system(), NocConfig())
+        net.nis[16].send_message(79, 2, 5, 0)
+        net.run(2000)
+        energy = network_energy(net, 2000)
+        assert energy.static > energy.dynamic
+
+
+class TestAreaModel:
+    def test_baselines_match_paper(self):
+        for vcs, target in PAPER_BASELINE_AREA.items():
+            area = baseline_router_area(table2_config(vcs))
+            assert area == pytest.approx(target, rel=0.001)
+
+    def test_overheads_match_paper_within_tolerance(self):
+        """Fig. 14: UPP chiplet 3.77%/1.50%, interposer 2.62%/1.47%, RC
+        chiplet 4.14%/1.65%, composable 0%."""
+        table = figure14_table(table2_config(1), table2_config(4))
+        paper = {
+            ("upp", "chiplet_1vc"): 0.0377,
+            ("upp", "chiplet_4vc"): 0.0150,
+            ("upp", "interposer_1vc"): 0.0262,
+            ("upp", "interposer_4vc"): 0.0147,
+            ("remote_control", "chiplet_1vc"): 0.0414,
+            ("remote_control", "chiplet_4vc"): 0.0165,
+        }
+        for (scheme, key), expected in paper.items():
+            assert table[scheme][key] == pytest.approx(expected, abs=0.005)
+        assert table["composable"]["chiplet_1vc"] == 0.0
+
+    def test_upp_overhead_below_four_percent(self):
+        """The abstract's headline claim: less than 4% area overhead."""
+        for vcs in (1, 4):
+            cfg = table2_config(vcs)
+            assert upp_chiplet_overhead(cfg).overhead < 0.04
+            assert upp_interposer_overhead(cfg).overhead < 0.04
+
+    def test_overhead_shrinks_with_more_vcs(self):
+        assert (
+            upp_chiplet_overhead(table2_config(4)).overhead
+            < upp_chiplet_overhead(table2_config(1)).overhead
+        )
+
+    def test_composable_is_free(self):
+        assert composable_overhead(table2_config(1)).added == 0.0
+
+
+class TestPercentiles:
+    def test_empty(self):
+        assert LatencyAccumulator().percentile(0.99) == 0.0
+
+    def test_bounds_validated(self):
+        acc = LatencyAccumulator()
+        with pytest.raises(ValueError):
+            acc.percentile(0.0)
+        with pytest.raises(ValueError):
+            acc.percentile(1.5)
+
+    def test_uniform_values(self):
+        acc = LatencyAccumulator()
+        for v in range(1, 101):
+            acc.add(v)
+        p50 = acc.percentile(0.5)
+        # bucketed estimate: within a power of two of the true median
+        assert 31 <= p50 <= 127
+        assert acc.percentile(1.0) == 100  # capped at the observed max
+
+    def test_percentile_monotone(self):
+        acc = LatencyAccumulator()
+        for v in (3, 9, 27, 81, 243, 729):
+            acc.add(v)
+        assert acc.percentile(0.5) <= acc.percentile(0.9) <= acc.percentile(1.0)
+
+    def test_summary_includes_p99(self):
+        stats = SimulationStats(3, 64)
+        stats.begin_window(0)
+        packet = Packet(0, 1, 0, 1, 5)
+        packet.injected_cycle = 6
+        packet.ejected_cycle = 40
+        stats.on_eject(packet)
+        assert stats.summary(100)["p99_total_latency"] >= 31

@@ -1,0 +1,137 @@
+"""Unit tests for the network interface: queues, reassembly, reservations."""
+
+import random
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.flit import FlitKind, Packet, SignalFlit
+from repro.noc.network import Network
+from repro.noc.ni import Endpoint, NetworkInterface
+from repro.topology.chiplet import baseline_system
+
+
+def make_ni(**cfg_kwargs):
+    cfg = NocConfig(**cfg_kwargs)
+    return NetworkInterface(0, cfg, random.Random(0)), cfg
+
+
+class TestInjectionQueues:
+    def test_send_message_respects_capacity(self):
+        ni, cfg = make_ni(injection_queue_capacity=2)
+        assert ni.send_message(1, 0, 1, 0) is not None
+        assert ni.send_message(1, 0, 1, 0) is not None
+        assert ni.send_message(1, 0, 1, 0) is None
+        assert ni.injection_space(0) == 0
+        assert ni.injection_space(1) == 2
+
+    def test_created_cycle_recorded(self):
+        ni, _ = make_ni()
+        packet = ni.send_message(1, 0, 1, 42)
+        assert packet.created_cycle == 42
+
+
+class TestEjectionAccounting:
+    def test_free_entries_counts_reservation(self):
+        ni, cfg = make_ni(ejection_queue_capacity=4)
+        assert ni.free_ejection_entries(0) == 4
+        ni.reservations[0] = 99
+        assert ni.free_ejection_entries(0) == 3
+
+    def test_consume_returns_fifo(self):
+        ni, _ = make_ni()
+        a = Packet(1, 0, 0, 1, 0)
+        b = Packet(2, 0, 0, 1, 0)
+        ni.ejection_queues[0].extend([a, b])
+        assert ni.consume_message(0) is a
+        assert ni.peek_message(0) is b
+        assert ni.consume_message(0) is b
+        assert ni.consume_message(0) is None
+
+
+class TestReservationProtocol:
+    def _req(self, vnet=0, token=5):
+        sig = SignalFlit(FlitKind.UPP_REQ, vnet, dst=0, token=token)
+        sig.path = [(7, None)]
+        return sig
+
+    def test_req_grants_when_space(self):
+        net = Network(baseline_system(), NocConfig())
+        ni = net.nis[16]
+        ni.receive_signal(self._req(token=5), cycle=0)
+        assert ni.reservations[0] == 5
+        assert ni.reservation_grants == 1
+        # the ack was queued on the NI->router link
+        assert ni.to_router.in_flight == 1
+
+    def test_req_waits_when_full(self):
+        net = Network(baseline_system(), NocConfig(ejection_queue_capacity=1))
+        ni = net.nis[16]
+        ni.ejection_queues[0].append(Packet(1, 0, 0, 1, 0))
+        ni.receive_signal(self._req(token=5), cycle=0)
+        assert ni.reservations[0] == -1
+        assert ni.pending_reqs[0] is not None
+        assert ni.reservation_waits == 1
+        # consuming frees the entry; the pending req is then granted
+        ni.consume_message(0)
+        ni._service_pending_reservations(1)
+        assert ni.reservations[0] == 5
+
+    def test_stop_recycles_reservation(self):
+        net = Network(baseline_system(), NocConfig())
+        ni = net.nis[16]
+        ni.receive_signal(self._req(token=5), cycle=0)
+        stop = SignalFlit(FlitKind.UPP_STOP, 0, dst=16, token=5)
+        ni.receive_signal(stop, cycle=1)
+        assert ni.reservations[0] == -1
+
+    def test_stop_with_wrong_token_ignored(self):
+        net = Network(baseline_system(), NocConfig())
+        ni = net.nis[16]
+        ni.receive_signal(self._req(token=5), cycle=0)
+        stop = SignalFlit(FlitKind.UPP_STOP, 0, dst=16, token=6)
+        ni.receive_signal(stop, cycle=1)
+        assert ni.reservations[0] == 5
+
+    def test_stop_cancels_pending_req(self):
+        net = Network(baseline_system(), NocConfig(ejection_queue_capacity=1))
+        ni = net.nis[16]
+        ni.ejection_queues[0].append(Packet(1, 0, 0, 1, 0))
+        ni.receive_signal(self._req(token=5), cycle=0)
+        stop = SignalFlit(FlitKind.UPP_STOP, 0, dst=16, token=5)
+        ni.receive_signal(stop, cycle=1)
+        assert ni.pending_reqs[0] is None
+
+
+class TestPopupEjection:
+    def test_popup_flits_fill_reserved_entry(self):
+        net = Network(baseline_system(), NocConfig())
+        ni = net.nis[16]
+        ni.reservations[2] = 9
+        packet = Packet(40, 16, 2, 2, 0)
+        flits = packet.make_flits()
+        ni.eject_popup_flit(flits[0], 10)
+        assert ni.reservations[2] == 9  # not released until the tail
+        ni.eject_popup_flit(flits[1], 11)
+        assert ni.reservations[2] == -1
+        assert ni.popup_ejections == 1
+        assert packet.ejected_cycle == 11
+        assert ni.peek_message(2) is packet
+
+    def test_popup_without_reservation_counts_overflow_if_full(self):
+        net = Network(baseline_system(), NocConfig(ejection_queue_capacity=1))
+        ni = net.nis[16]
+        ni.ejection_queues[2].append(Packet(1, 0, 2, 1, 0))
+        packet = Packet(40, 16, 2, 1, 0)
+        ni.eject_popup_flit(packet.make_flits()[0], 10)
+        assert ni.popup_overflows == 1
+
+
+class TestIdealSinkDefault:
+    def test_ni_without_endpoint_drains(self):
+        net = Network(baseline_system(), NocConfig())
+        for _ in range(6):
+            net.nis[16].send_message(17, 0, 1, 0)
+        net.run(200)
+        assert net.nis[17].ejected_packets == 6
+        assert all(not q for q in net.nis[17].ejection_queues)

@@ -1,0 +1,241 @@
+"""Unit tests for the interposer popup state machine (Sec. V-A..V-C)."""
+
+import pytest
+
+from repro.core.config import UPPConfig
+from repro.core.popup import InterposerPopupUnit, PopupPhase, UPPStats
+from repro.noc.config import NocConfig
+from repro.noc.flit import FlitKind, Packet, Port, SignalFlit
+from repro.noc.network import Network
+from repro.schemes.upp import UPPScheme
+from repro.topology.chiplet import baseline_system
+
+
+def make_network():
+    return Network(baseline_system(), NocConfig(), UPPScheme())
+
+
+def plant_upward_packet(net, rid=0, vnet=0, size=1, dst=21):
+    """Put a packet into an interposer router's VC, routed upward."""
+    router = net.routers[rid]
+    vc = router.in_ports[Port.NORTH].vcs[vnet]
+    packet = Packet(40, dst, vnet, size, 0)
+    for flit in packet.make_flits():
+        if vc.free_slots:
+            vc.push(flit, 0)
+    vc.out_port = Port.UP
+    return router, vc, packet
+
+
+class TestAttemptLifecycle:
+    def test_detection_to_req(self):
+        net = make_network()
+        router, vc, packet = plant_upward_packet(net)
+        unit = router.upp
+        for _cycle in range(25):
+            unit.observe(0, stalled=True, sent=False)
+            unit.tick(router, _cycle)
+        attempt = unit.attempts[0]
+        assert attempt.phase == PopupPhase.WAIT_ACK
+        assert attempt.pid == packet.pid
+        assert attempt.interposer_start
+        assert unit.stats.reqs_sent == 1
+
+    def test_no_attempt_without_threshold(self):
+        net = make_network()
+        router, vc, packet = plant_upward_packet(net)
+        unit = router.upp
+        for _cycle in range(10):
+            unit.observe(0, stalled=True, sent=False)
+            unit.tick(router, _cycle)
+        assert unit.attempts[0].phase == PopupPhase.IDLE
+
+    def test_ack_starts_local_popup(self):
+        net = make_network()
+        router, vc, packet = plant_upward_packet(net)
+        unit = router.upp
+        for _cycle in range(25):
+            unit.observe(0, stalled=True, sent=False)
+            unit.tick(router, _cycle)
+        attempt = unit.attempts[0]
+        ack = SignalFlit(FlitKind.UPP_ACK, 0, token=attempt.token)
+        unit.on_ack(router, ack, 30)
+        assert attempt.phase == PopupPhase.ACTIVE_LOCAL
+        assert unit.holds_vc(vc)
+
+    def test_stale_ack_dropped(self):
+        net = make_network()
+        router, vc, packet = plant_upward_packet(net)
+        unit = router.upp
+        for _cycle in range(25):
+            unit.observe(0, stalled=True, sent=False)
+            unit.tick(router, _cycle)
+        ack = SignalFlit(FlitKind.UPP_ACK, 0, token=-99)
+        unit.on_ack(router, ack, 30)
+        assert unit.attempts[0].phase == PopupPhase.WAIT_ACK
+        assert unit.stats.stale_acks == 1
+
+    def test_normal_departure_aborts_with_stop(self):
+        """Protocol rule 3: the packet proceeds before the ack arrives."""
+        net = make_network()
+        router, vc, packet = plant_upward_packet(net)
+        unit = router.upp
+        for _cycle in range(25):
+            unit.observe(0, stalled=True, sent=False)
+            unit.tick(router, _cycle)
+        token = unit.attempts[0].token
+        unit.on_normal_up_departure(router, packet.make_flits()[0], 30)
+        assert unit.attempts[0].phase == PopupPhase.IDLE
+        assert unit.stats.stops_sent == 1
+        # the late ack is now stale
+        ack = SignalFlit(FlitKind.UPP_ACK, 0, token=token)
+        unit.on_ack(router, ack, 40)
+        assert unit.stats.stale_acks == 1
+
+    def test_ack_timeout_aborts(self):
+        net = make_network()
+        router, vc, packet = plant_upward_packet(net)
+        cfg = UPPConfig(detection_threshold=5, ack_timeout=50)
+        unit = InterposerPopupUnit(3, cfg, UPPStats())
+        router.upp = unit
+        for cycle in range(10):
+            unit.observe(0, stalled=True, sent=False)
+            unit.tick(router, cycle)
+        assert unit.attempts[0].phase == PopupPhase.WAIT_ACK
+        aborted_at = None
+        for cycle in range(10, 70):
+            unit.tick(router, cycle)
+            if aborted_at is None and unit.attempts[0].phase == PopupPhase.IDLE:
+                aborted_at = cycle
+        assert aborted_at is not None  # timed out and aborted...
+        assert unit.stats.ack_timeouts == 1
+        assert unit.stats.stops_sent >= 1
+        # ...and detection legitimately retries afterwards (the packet is
+        # still stalled), so a fresh attempt may already be underway
+
+    def test_partly_transmitted_selection(self):
+        """A VC holding only body/tail flits selects the chiplet-start
+        (wormhole) popup mode."""
+        net = make_network()
+        router = net.routers[0]
+        vc = router.in_ports[Port.NORTH].vcs[0]
+        packet = Packet(40, 21, 0, 5, 0)
+        flits = packet.make_flits()
+        vc.active_pid = packet.pid  # worm allocated by the departed head
+        for flit in flits[2:]:  # head already "in the chiplet"
+            vc.push(flit, 0)
+        vc.out_port = Port.UP
+        unit = router.upp
+        for cycle in range(25):
+            unit.observe(0, stalled=True, sent=False)
+            unit.tick(router, cycle)
+        attempt = unit.attempts[0]
+        assert attempt.phase == PopupPhase.WAIT_ACK
+        assert not attempt.interposer_start
+        # ack with the start flag moves it to remote-tracking mode
+        ack = SignalFlit(FlitKind.UPP_ACK, 0, token=attempt.token)
+        ack.start = True
+        unit.on_ack(router, ack, 30)
+        assert attempt.phase == PopupPhase.ACTIVE_REMOTE
+        assert not unit.holds_vc(vc)  # remote popups drain via normal SA
+
+    def test_serial_signal_gap(self):
+        """Sec. V-B5: consecutive signals from one interposer router keep
+        the Size_of_Data_Packet + 1 cycle gap."""
+        net = make_network()
+        router, vc, packet = plant_upward_packet(net)
+        unit = router.upp
+        sent_cycles = []
+        original = router.inject_signal
+
+        def spy(sig, cycle):
+            sent_cycles.append(cycle)
+            original(sig, cycle)
+
+        router.inject_signal = spy
+        for cycle in range(25):
+            unit.observe(0, stalled=True, sent=False)
+            unit.tick(router, cycle)
+        # force an abort to queue a stop right behind the req
+        unit.on_normal_up_departure(router, packet.make_flits()[0], 26)
+        for cycle in range(26, 60):
+            unit.tick(router, cycle)
+        assert len(sent_cycles) >= 2  # req + stop (+ retried req)
+        for a, b in zip(sent_cycles, sent_cycles[1:]):
+            assert b - a >= unit.cfg.signal_min_gap
+
+
+class TestConcurrencyRestriction:
+    def test_one_popup_per_vnet_per_router(self):
+        """Sec. V-A: at most one upward packet per VNet per interposer
+        router, independent of port/VC counts."""
+        net = make_network()
+        router = net.routers[0]
+        for port in (Port.NORTH, Port.EAST):
+            vc = router.in_ports[port].vcs[0]
+            packet = Packet(40, 21, 0, 1, 0)
+            vc.push(packet.make_flits()[0], 0)
+            vc.out_port = Port.UP
+        unit = router.upp
+        for cycle in range(60):
+            unit.observe(0, stalled=True, sent=False)
+            unit.tick(router, cycle)
+        assert unit.stats.reqs_sent == 1  # second stall waits its turn
+
+    def test_vnets_recover_concurrently(self):
+        net = make_network()
+        router = net.routers[0]
+        for vnet in (0, 2):
+            vc = router.in_ports[Port.NORTH].vcs[vnet]
+            packet = Packet(40, 21, vnet, 1, 0)
+            vc.push(packet.make_flits()[0], 0)
+            vc.out_port = Port.UP
+        unit = router.upp
+        for cycle in range(40):
+            for vnet in (0, 2):
+                unit.observe(vnet, stalled=True, sent=False)
+            unit.tick(router, cycle)
+        assert unit.attempts[0].phase == PopupPhase.WAIT_ACK
+        assert unit.attempts[2].phase == PopupPhase.WAIT_ACK
+
+
+class TestCoordination:
+    def test_coordinator_mutual_exclusion(self):
+        from repro.core.coordination import PopupCoordinator
+
+        coord = PopupCoordinator(3)
+        assert coord.acquire(0, 1)
+        assert not coord.acquire(0, 1)
+        assert coord.acquire(0, 2)  # other VNet unaffected
+        assert coord.acquire(1, 1)  # other chiplet unaffected
+        coord.release(0, 1)
+        assert coord.acquire(0, 1)
+        assert coord.rejections == 1
+
+    def test_coordinated_units_serialise_per_chiplet(self):
+        """Two interposer routers popping the same chiplet's VNet: only
+        one attempt starts until the first releases."""
+        from repro.core.config import UPPConfig
+        from repro.noc.config import NocConfig
+        from repro.noc.network import Network
+        from repro.schemes.upp import UPPScheme
+
+        net = Network(
+            baseline_system(),
+            NocConfig(),
+            UPPScheme(UPPConfig(coordinate_per_chiplet=True)),
+        )
+        # routers 0 and 1 both attach to chiplet 0; stall both on VNet 0
+        for rid, dst in ((0, 21), (1, 22)):
+            router = net.routers[rid]
+            vc = router.in_ports[Port.NORTH].vcs[0]
+            packet = Packet(40, dst, 0, 1, 0)
+            vc.push(packet.make_flits()[0], 0)
+            vc.out_port = Port.UP
+        for cycle in range(30):
+            for rid in (0, 1):
+                unit = net.routers[rid].upp
+                unit.observe(0, stalled=True, sent=False)
+                unit.tick(net.routers[rid], cycle)
+        phases = [net.routers[rid].upp.attempts[0].phase for rid in (0, 1)]
+        assert sorted(p.value for p in phases) == [0, 1]  # one waits

@@ -1,0 +1,55 @@
+"""Tests for the plain-text result rendering helpers."""
+
+from repro.metrics.render import bar_chart, curve, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_series_rises(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_flat_series(self):
+        assert set(sparkline([7, 7, 7])) == {" "}
+
+    def test_length_matches_input(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart({}) == []
+
+    def test_bars_scale(self):
+        lines = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_zero_value(self):
+        lines = bar_chart({"a": 0.0, "b": 1.0})
+        assert "# 0" not in lines[0]
+
+    def test_unit_suffix(self):
+        lines = bar_chart({"x": 3.0}, unit=" cy")
+        assert lines[0].endswith("3 cy")
+
+
+class TestCurve:
+    def test_empty(self):
+        assert curve({}) == []
+
+    def test_markers_and_legend(self):
+        lines = curve(
+            {"upp": [(0.01, 30), (0.05, 40)], "rc": [(0.01, 35), (0.05, 60)]},
+            height=6,
+            width=20,
+        )
+        body = "\n".join(lines)
+        assert "a=upp" in body and "b=rc" in body
+        assert any("a" in line for line in lines[1:-3])
+
+    def test_axis_ranges_reported(self):
+        lines = curve({"s": [(0.0, 1.0), (1.0, 9.0)]}, height=4, width=10)
+        assert "[0 .. 1]" in lines[-2]
+        assert "1 .. 9" in lines[0]

@@ -1,0 +1,115 @@
+"""Unit tests for router pipeline timing and wormhole behaviour, observed
+through a minimal live network."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.flit import Port
+from repro.noc.network import Network
+from repro.schemes.upp import UPPScheme
+from repro.topology.chiplet import baseline_system
+
+
+def make_net(**cfg_kwargs):
+    return Network(baseline_system(), NocConfig(**cfg_kwargs))
+
+
+def send_and_time(net, src, dst, size=1, vnet=0):
+    """Inject one packet at cycle 0 and run until ejection."""
+    ni = net.nis[src]
+    packet = ni.send_message(dst, vnet, size, net.cycle)
+    assert packet is not None
+    for _ in range(500):
+        net.step()
+        if packet.ejected_cycle >= 0:
+            return packet
+    raise AssertionError("packet never ejected")
+
+
+class TestZeroLoadTiming:
+    def test_single_hop_latency(self):
+        """NI -> router -> neighbour router -> NI with a 3-stage pipeline:
+        per-hop cost is pipeline + link; the constant is what Fig. 7's
+        zero-load latency rests on."""
+        net = make_net()
+        packet = send_and_time(net, 16, 17)  # adjacent chiplet routers
+        # deterministic constant; lock it down as a regression anchor
+        assert packet.network_latency == 9
+
+    def test_latency_grows_linearly_with_hops(self):
+        net = make_net()
+        p1 = send_and_time(net, 16, 17)
+        net2 = make_net()
+        p2 = send_and_time(net2, 16, 18)
+        net3 = make_net()
+        p3 = send_and_time(net3, 16, 19)
+        hop_cost = p2.network_latency - p1.network_latency
+        assert hop_cost == p3.network_latency - p2.network_latency
+        assert hop_cost == 4  # 3-stage pipeline + 1-cycle link
+
+    def test_serialization_adds_per_flit_cycles(self):
+        net = make_net()
+        control = send_and_time(net, 16, 19, size=1)
+        net2 = make_net()
+        data = send_and_time(net2, 16, 19, size=5)
+        assert data.network_latency == control.network_latency + 5
+
+    def test_hop_count(self):
+        net = make_net()
+        packet = send_and_time(net, 16, 19)
+        # 3 mesh hops plus the ejection (LOCAL) crossbar traversal
+        assert packet.hops == 4
+
+    def test_inter_chiplet_hop_count_includes_vertical(self):
+        net = make_net()
+        packet = send_and_time(net, 16, 79)
+        # path includes exactly one DOWN and one UP traversal
+        assert packet.hops >= 4
+
+
+class TestWormholeIntegrity:
+    def test_flits_arrive_in_order_and_complete(self):
+        net = make_net()
+        seen = []
+        net.nis[79].on_eject = lambda p: seen.append(p)
+        ni = net.nis[16]
+        packets = []
+        for _ in range(3):
+            packets.append(ni.send_message(79, 2, 5, net.cycle))
+        net.run(400)
+        assert [p.pid for p in seen] == [p.pid for p in packets]
+
+    def test_vnets_do_not_interleave_vcs(self):
+        net = make_net()
+        ni = net.nis[16]
+        a = ni.send_message(79, 0, 1, 0)
+        b = ni.send_message(79, 2, 5, 0)
+        net.run(300)
+        assert a.ejected_cycle >= 0 and b.ejected_cycle >= 0
+
+
+class TestCreditBackpressure:
+    def test_no_vc_overflow_under_burst(self):
+        """Credit protocol prevents buffer overflow even when many packets
+        target one destination; VC.push raises if violated."""
+        net = make_net()
+        for src in (16, 18, 24, 26, 30):
+            for _ in range(4):
+                net.nis[src].send_message(21, 2, 5, 0)
+        net.run(600)
+        total = sum(net.nis[n].ejected_packets for n in net.nis)
+        assert total == 20
+
+
+class TestOccupancyAccounting:
+    def test_occupancy_zero_when_idle(self):
+        net = make_net()
+        net.run(50)
+        assert net.occupancy() == 0
+
+    def test_occupancy_returns_to_zero_after_traffic(self):
+        net = make_net()
+        net.nis[16].send_message(60, 2, 5, 0)
+        net.run(300)
+        assert net.occupancy() == 0
+        assert net.in_network_flits() == 0

@@ -1,0 +1,191 @@
+"""Unit tests for local routing, binding and the hierarchical algorithm."""
+
+import random
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.flit import OPPOSITE, Port
+from repro.noc.network import Network
+from repro.routing.base import XYTurnModel
+from repro.routing.binding import binding_load, compute_binding
+from repro.routing.table import TableRouting
+from repro.routing.updown import build_updown_routing, spanning_tree_depths
+from repro.routing.xy import XYLocalRouting
+from repro.topology.chiplet import baseline_system
+from repro.topology.faults import inject_faults
+
+
+@pytest.fixture
+def topo():
+    return baseline_system()
+
+
+class TestXYTurnModel:
+    def test_y_to_x_forbidden(self):
+        model = XYTurnModel()
+        # arrived via SOUTH port => travelling north; turning east is Y->X
+        assert not model.allowed(0, Port.SOUTH, Port.EAST)
+        assert not model.allowed(0, Port.NORTH, Port.WEST)
+
+    def test_x_to_y_allowed(self):
+        model = XYTurnModel()
+        assert model.allowed(0, Port.EAST, Port.NORTH)
+        assert model.allowed(0, Port.WEST, Port.SOUTH)
+
+    def test_u_turn_forbidden(self):
+        model = XYTurnModel()
+        assert not model.allowed(0, Port.EAST, Port.EAST)
+
+    def test_injection_and_vertical_free(self):
+        model = XYTurnModel()
+        for out in (Port.NORTH, Port.EAST, Port.DOWN, Port.LOCAL):
+            assert model.allowed(0, Port.LOCAL, out) or out == Port.LOCAL
+        assert model.allowed(0, Port.DOWN, Port.NORTH)
+        assert model.allowed(0, Port.NORTH, Port.DOWN)
+
+
+class TestXYLocalRouting:
+    def test_routes_within_layer(self, topo):
+        xy = XYLocalRouting(topo)
+        # interposer router 0 (0,0) to 15 (3,3): X first
+        assert xy.next_port(0, Port.LOCAL, 15) == Port.EAST
+        assert xy.next_port(3, Port.LOCAL, 15) == Port.NORTH
+
+    def test_cross_layer_rejected(self, topo):
+        xy = XYLocalRouting(topo)
+        with pytest.raises(ValueError):
+            xy.next_port(0, Port.LOCAL, 20)
+
+    def test_faulty_topology_rejected(self, topo):
+        inject_faults(topo, 1, random.Random(1))
+        with pytest.raises(ValueError):
+            XYLocalRouting(topo)
+
+
+class TestUpDownRouting:
+    def test_depths_cover_layer(self, topo):
+        depths = spanning_tree_depths(topo, topo.interposer_routers)
+        assert set(depths) == set(range(16))
+        assert depths[0] == 0
+
+    def test_all_pairs_routable_healthy(self, topo):
+        table = build_updown_routing(topo, topo.interposer_routers)
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    assert table.path_length(src, Port.LOCAL, dst) is not None
+
+    def test_all_pairs_routable_with_faults(self, topo):
+        inject_faults(topo, 8, random.Random(7))
+        table = build_updown_routing(topo, topo.interposer_routers)
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    length = table.path_length(src, Port.LOCAL, dst)
+                    assert length is not None, f"{src}->{dst} unroutable"
+
+    def test_paths_avoid_faulty_links(self, topo):
+        inject_faults(topo, 6, random.Random(3))
+        table = build_updown_routing(topo, topo.interposer_routers)
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                for rid, port in table.walk(src, Port.LOCAL, dst):
+                    nbr = table.neighbor_of[(rid, port)]
+                    assert (rid, nbr) not in topo.faulty
+
+
+class TestBinding:
+    def test_binding_is_nearest(self, topo):
+        binding = compute_binding(topo, random.Random(0))
+        from repro.routing.binding import _hop_distances
+
+        for chiplet in range(4):
+            boundaries = topo.boundary_routers(chiplet)
+            dists = {b: _hop_distances(topo, b) for b in boundaries}
+            for rid in topo.chiplet_routers(chiplet):
+                best = min(dists[b][rid] for b in boundaries)
+                assert dists[binding[rid]][rid] == best
+
+    def test_binding_stays_in_chiplet(self, topo):
+        binding = compute_binding(topo, random.Random(0))
+        for rid, boundary in binding.items():
+            assert topo.chiplet_of[rid] == topo.chiplet_of[boundary]
+
+    def test_boundary_binds_to_itself(self, topo):
+        binding = compute_binding(topo, random.Random(0))
+        for boundary in topo.boundary_routers():
+            assert binding[boundary] == boundary
+
+    def test_load_accounting(self, topo):
+        binding = compute_binding(topo, random.Random(0))
+        load = binding_load(topo, binding)
+        assert sum(load.values()) == 64
+
+
+class TestHierarchicalRouting:
+    def setup_method(self):
+        self.net = Network(baseline_system(), NocConfig())
+        self.routing = self.net.routing
+        self.topo = self.net.topo
+
+    def _walk(self, src, dst):
+        links = {}
+        for spec in self.topo.links:
+            links[(spec.src, spec.src_port)] = (spec.dst, spec.dst_port)
+        rid, in_port, hops = src, Port.LOCAL, []
+        for _ in range(100):
+            out = self.routing(self.net.routers[rid], in_port, dst, src)
+            if out == Port.LOCAL:
+                return hops
+            hops.append((rid, out))
+            rid, in_port = links[(rid, out)]
+        raise AssertionError("routing did not terminate")
+
+    def test_intra_chiplet_route_stays_local(self):
+        hops = self._walk(16, 31)
+        for rid, port in hops:
+            assert self.topo.chiplet_of[rid] == 0
+            assert port not in (Port.DOWN, Port.UP)
+
+    def test_inter_chiplet_route_descends_once(self):
+        hops = self._walk(16, 79)
+        downs = [p for _r, p in hops if p == Port.DOWN]
+        ups = [p for _r, p in hops if p in (Port.UP, Port.UP2)]
+        assert len(downs) == 1 and len(ups) == 1
+
+    def test_exit_uses_source_binding(self):
+        exit_b = self.routing.exit_binding[16]
+        hops = self._walk(16, 79)
+        down_router = next(r for r, p in hops if p == Port.DOWN)
+        assert down_router == exit_b
+
+    def test_entry_uses_destination_binding(self):
+        """Sec. V-D: packets to the same destination enter via the same
+        boundary router, whatever their source."""
+        dst = 27
+        entries = set()
+        for src in (40, 56, 70, 5):
+            hops = self._walk(src, dst)
+            up_hop = next((r, p) for r, p in hops if p in (Port.UP, Port.UP2))
+            entries.add(up_hop)
+        assert len(entries) == 1
+
+    def test_route_to_interposer_directory(self):
+        hops = self._walk(20, 10)
+        assert hops[-1][1] in (Port.NORTH, Port.SOUTH, Port.EAST, Port.WEST) or hops
+
+
+class TestTableRoutingLoops:
+    def test_no_loops_all_pairs(self):
+        topo = baseline_system()
+        inject_faults(topo, 10, random.Random(11))
+        table = build_updown_routing(topo, topo.chiplet_routers(0))
+        members = topo.chiplet_routers(0)
+        for src in members:
+            for dst in members:
+                if src != dst:
+                    # path_length raises RuntimeError on loops
+                    assert table.path_length(src, Port.LOCAL, dst) is not None

@@ -1,0 +1,190 @@
+"""Unit tests for traffic generation: synthetic patterns, coherence
+workloads, traces and the adversarial generator."""
+
+import random
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.network import Network
+from repro.schemes.upp import UPPScheme
+from repro.topology.chiplet import baseline_system
+from repro.traffic.adversarial import SaturatingEndpoint, witness_flows
+from repro.traffic.coherence import (
+    CoherenceEndpoint,
+    install_coherence_workload,
+    workload_finished,
+)
+from repro.traffic.synthetic import (
+    PATTERNS,
+    SyntheticEndpoint,
+    bit_complement,
+    bit_rotation,
+    install_synthetic_traffic,
+    transpose,
+    uniform_random,
+)
+from repro.traffic.trace import ReplayEndpoint, TraceRecord, TraceRecorder, install_replay
+from repro.traffic.workloads import ALL_WORKLOADS, get_workload, workload_names
+
+
+class TestPatterns:
+    def test_bit_complement_is_involution(self):
+        for i in range(64):
+            assert bit_complement(bit_complement(i, 64, None), 64, None) == i
+
+    def test_transpose_is_involution(self):
+        for i in range(64):
+            assert transpose(transpose(i, 64, None), 64, None) == i
+
+    def test_bit_rotation_is_permutation(self):
+        targets = {bit_rotation(i, 64, None) for i in range(64)}
+        assert targets == set(range(64))
+
+    def test_uniform_random_never_self(self):
+        rng = random.Random(0)
+        for i in range(64):
+            for _ in range(20):
+                assert uniform_random(i, 64, rng) != i
+
+    def test_transpose_requires_square(self):
+        with pytest.raises(ValueError):
+            transpose(0, 128, None)
+
+    def test_all_patterns_in_range(self):
+        rng = random.Random(1)
+        for name, fn in PATTERNS.items():
+            for i in range(64):
+                assert 0 <= fn(i, 64, rng) < 64
+
+
+class TestSyntheticEndpoint:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticEndpoint(0, list(range(64)), "uniform_random", 1.5, random.Random(0))
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            SyntheticEndpoint(0, list(range(64)), "nope", 0.1, random.Random(0))
+
+    def test_non_power_of_two_rejected_for_bit_patterns(self):
+        with pytest.raises(ValueError):
+            SyntheticEndpoint(0, list(range(60)), "bit_complement", 0.1, random.Random(0))
+
+    def test_offered_load_approximates_rate(self):
+        net = Network(baseline_system(), NocConfig())
+        endpoints = install_synthetic_traffic(net, "uniform_random", 0.06)
+        net.run(3000)
+        generated = sum(e.generated for e in endpoints if hasattr(e, "generated"))
+        expected = 0.06 / 3 * 3000 * 64  # rate / mean packet size
+        assert generated == pytest.approx(expected, rel=0.15)
+
+    def test_backlog_spills_when_queue_full(self):
+        net = Network(baseline_system(), NocConfig(injection_queue_capacity=1))
+        endpoints = install_synthetic_traffic(net, "bit_complement", 0.5, data_fraction=1.0)
+        net.run(200)
+        assert any(e.backlog_flits > 0 for e in endpoints if hasattr(e, "backlog_flits"))
+
+
+class TestWorkloads:
+    def test_all_paper_benchmarks_present(self):
+        for name in ("blackscholes", "canneal", "fft", "radix", "barnes", "water_nsquared"):
+            assert name in ALL_WORKLOADS
+
+    def test_suites(self):
+        assert set(workload_names("parsec")) | set(workload_names("splash2")) == set(
+            workload_names("all")
+        )
+        with pytest.raises(ValueError):
+            workload_names("spec")
+
+    def test_scaling(self):
+        base = get_workload("canneal")
+        scaled = get_workload("canneal", scale=0.5)
+        assert scaled.requests_per_core == base.requests_per_core // 2
+        assert scaled.issue_rate == base.issue_rate
+
+    def test_network_bound_marked_by_high_issue_rate(self):
+        assert ALL_WORKLOADS["canneal"].issue_rate > ALL_WORKLOADS["facesim"].issue_rate
+
+
+class TestCoherenceWorkload:
+    def test_workload_completes(self):
+        net = Network(baseline_system(), NocConfig(), UPPScheme())
+        profile = get_workload("blackscholes", scale=0.1)
+        endpoints = install_coherence_workload(net, profile)
+        for _ in range(200):
+            net.run(100)
+            if workload_finished(endpoints):
+                break
+        assert workload_finished(endpoints)
+        cores = [e for e in endpoints if e.is_core]
+        assert all(e.completed == profile.requests_per_core for e in cores)
+
+    def test_directories_installed_on_interposer(self):
+        net = Network(baseline_system(), NocConfig(), UPPScheme())
+        install_coherence_workload(net, get_workload("blackscholes", 0.05))
+        homes = [
+            net.nis[n].endpoint for n in net.topo.interposer_routers
+        ]
+        assert all(not e.is_core for e in homes)
+
+    def test_request_consumption_needs_response_space(self):
+        """Sec. V-B4: a request is consumed only when the response it
+        generates has injection-queue room."""
+        net = Network(baseline_system(), NocConfig(injection_queue_capacity=1))
+        profile = get_workload("blackscholes", 0.05)
+        install_coherence_workload(net, profile)
+        ni = net.nis[16]
+        endpoint = ni.endpoint
+        # fill the response injection queue and enqueue a request
+        assert ni.send_message(17, 2, 5, 0) is not None
+        from repro.noc.flit import Packet
+
+        request = Packet(20, 16, 0, 1, 0, payload=("req", 20))
+        ni.ejection_queues[0].append(request)
+        endpoint.consume(0)
+        assert ni.peek_message(0) is request  # not consumed: no room
+
+
+class TestTrace:
+    def test_record_replay_roundtrip(self):
+        net = Network(baseline_system(), NocConfig())
+        recorder = TraceRecorder()
+        recorder.install(net)
+        net.nis[16].send_message(79, 2, 5, 0)
+        net.nis[40].send_message(20, 0, 1, 3)
+        net.run(300)
+        assert len(recorder.records) == 2
+        net2 = Network(baseline_system(), NocConfig())
+        install_replay(net2, recorder.records)
+        recorder2 = TraceRecorder()
+        recorder2.install(net2)
+        net2.run(400)
+        assert sorted(recorder2.records) == sorted(recorder.records)
+
+    def test_replay_pending(self):
+        endpoint = ReplayEndpoint([TraceRecord(5, 0, 1, 0, 1)])
+        assert endpoint.pending == 1
+
+
+class TestAdversarial:
+    def test_witness_flows_cover_a_cycle(self):
+        net = Network(baseline_system(), NocConfig(), UPPScheme())
+        flows = witness_flows(net)
+        assert len(flows) >= 3
+        assert all(src != dst for src, dst in flows)
+
+    def test_composable_has_no_witnesses(self):
+        from repro.schemes.composable import ComposableRoutingScheme
+
+        net = Network(baseline_system(), NocConfig(), ComposableRoutingScheme())
+        with pytest.raises(ValueError):
+            witness_flows(net)
+
+    def test_saturating_endpoint_fills_queue(self):
+        net = Network(baseline_system(), NocConfig())
+        endpoint = SaturatingEndpoint([79], data_size=5)
+        net.nis[16].set_endpoint(endpoint)
+        net.run(50)
+        assert endpoint.generated > 0
