@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples lint clean
+.PHONY: install test bench bench-figs bench-full examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -14,6 +14,9 @@ test-fast:
 	$(PYTHON) -m pytest tests/unit tests/property
 
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --out -
+
+bench-figs:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 bench-full:
@@ -22,6 +25,9 @@ bench-full:
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex; done
+
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

@@ -12,7 +12,7 @@ crossovers) are stable at the default scale.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 
 def bench_scale() -> float:

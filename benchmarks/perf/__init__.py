@@ -1,0 +1,8 @@
+"""Core wall-clock performance harness (see :mod:`repro.bench`).
+
+Unlike the figure-reproduction benches in the parent package (which use
+pytest-benchmark), this harness times the simulator core itself: each
+representative configuration runs under both the active-set scheduler
+and the legacy full sweep, results are asserted bit-identical, and the
+timings land in ``BENCH_core.json``.
+"""

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Standalone runner for the core perf harness.
+
+Equivalent to ``python -m repro bench``; kept here so the harness is
+discoverable next to the figure benches.  Usage::
+
+    python benchmarks/perf/run.py [--smoke] [--out BENCH_core.json]
+                                  [--baseline-rev <git-rev>]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

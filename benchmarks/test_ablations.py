@@ -11,11 +11,9 @@
    pipeline per hop, showing the recovery-latency benefit of the circuit.
 """
 
-import pytest
 
 from repro.core.config import UPPConfig
 from repro.noc.config import NocConfig
-from repro.routing.binding import compute_binding
 from repro.schemes.upp import UPPScheme
 from repro.sim.simulator import Simulation
 from repro.topology.chiplet import baseline_system

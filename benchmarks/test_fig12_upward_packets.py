@@ -6,7 +6,6 @@ network-bound benchmarks (canneal, fft, radix) dominate the counts with
 1 VC; moving to 4 VCs collapses the counts toward zero — so false
 positives cost almost nothing (Sec. VI-C)."""
 
-import pytest
 
 from repro.sim.experiment import run_workload
 from repro.sim.presets import table2_config

@@ -10,7 +10,6 @@ import math
 import pytest
 
 from repro.metrics.energy import network_energy
-from repro.schemes.upp import UPPScheme
 from repro.sim.experiment import make_scheme
 from repro.sim.presets import table2_config
 from repro.sim.simulator import Simulation

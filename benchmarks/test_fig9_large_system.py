@@ -9,7 +9,7 @@ import pytest
 
 from repro.noc.config import NocConfig
 from repro.sim.experiment import latency_sweep, saturation_throughput
-from repro.topology.chiplet import baseline_system, large_system
+from repro.topology.chiplet import large_system
 
 from benchmarks.common import print_series, scaled
 

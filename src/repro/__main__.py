@@ -134,6 +134,18 @@ def cmd_deadlock(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the core perf harness (active-set vs full-sweep)."""
+    from repro.bench import main as bench_main
+
+    argv = ["--repeats", str(args.repeats), "--out", args.out]
+    if args.smoke:
+        argv.append("--smoke")
+    if args.baseline_rev:
+        argv.extend(["--baseline-rev", args.baseline_rev])
+    return bench_main(argv)
+
+
 def cmd_area(args) -> int:
     """Print the Fig. 14 area-overhead table."""
     from repro.metrics.area import baseline_router_area, figure14_table
@@ -184,6 +196,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("area", help="Fig. 14 area overhead table")
     p.set_defaults(fn=cmd_area)
+
+    p = sub.add_parser("bench", help="core wall-clock perf harness (BENCH_core.json)")
+    p.add_argument("--smoke", action="store_true")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--out", default="BENCH_core.json")
+    p.add_argument("--baseline-rev", default=None)
+    p.set_defaults(fn=cmd_bench)
 
     return parser
 

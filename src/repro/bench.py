@@ -1,0 +1,280 @@
+"""Wall-clock performance harness for the simulator core.
+
+Times a set of representative configurations under the event-driven
+active-set scheduler (the default) and under the legacy per-cycle full
+sweep (``NocConfig.full_sweep=True``), asserts that both modes produce
+bit-identical results (via :func:`repro.metrics.stats.result_fingerprint`),
+and writes the measurements to ``BENCH_core.json``.
+
+The full-sweep mode still shares the route cache, incremental occupancy
+counters and inlined delivery loops with the active-set core, so the
+in-repo mode-vs-mode ratio *understates* the gain over the pre-change
+core.  Pass ``--baseline-rev <git-rev>`` to additionally check out the
+pre-change tree into a temporary git worktree and time the low-load
+configuration against it in a subprocess — that is the number the
+"2x vs pre-change core" acceptance claim is based on.
+
+Entry points: ``python -m repro bench`` or ``benchmarks/perf/run.py``
+(``make bench`` runs the smoke variant).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.metrics.stats import result_fingerprint
+from repro.noc.config import NocConfig
+from repro.sim.experiment import make_scheme
+from repro.sim.presets import large_topology, table2_config, table2_upp_config
+from repro.sim.simulator import Simulation
+from repro.topology.chiplet import baseline_system
+from repro.traffic.synthetic import install_synthetic_traffic
+
+#: name of the low-load config used for the baseline-rev comparison.
+LOW_LOAD_CONFIG = "uniform_r0.02"
+
+
+def _run_uniform(rate: float, full_sweep: bool, smoke: bool):
+    """One open-loop uniform-random run on the 8-chiplet large system."""
+    cfg = dataclasses.replace(table2_config(), full_sweep=full_sweep)
+    sim = Simulation(large_topology(), cfg, make_scheme("upp", table2_upp_config()))
+    install_synthetic_traffic(sim.network, "uniform_random", rate)
+    warmup, measure = (100, 400) if smoke else (500, 2000)
+    t0 = time.perf_counter()
+    result = sim.run(warmup, measure)
+    return time.perf_counter() - t0, result
+
+
+def _run_coherence(full_sweep: bool, smoke: bool):
+    """One closed-loop coherence workload (canneal) on the baseline system."""
+    from repro.traffic.coherence import install_coherence_workload, workload_finished
+    from repro.traffic.workloads import get_workload
+
+    cfg = dataclasses.replace(table2_config(), full_sweep=full_sweep)
+    profile = get_workload("canneal", scale=0.05 if smoke else 0.25)
+    sim = Simulation(baseline_system(), cfg, make_scheme("upp", table2_upp_config()))
+    endpoints = install_coherence_workload(sim.network, profile)
+    t0 = time.perf_counter()
+    result = sim.run(
+        warmup=0,
+        measure=400_000,
+        stop_when=lambda net: workload_finished(endpoints),
+        max_cycles=400_000,
+    )
+    return time.perf_counter() - t0, result
+
+
+def _run_deadlock_recovery(full_sweep: bool, smoke: bool):
+    """Adversarial traffic that deadlocks an unprotected 1-VC system;
+    UPP must detect and recover (the paper's core scenario)."""
+    from repro.traffic.adversarial import install_adversarial_traffic, witness_flows
+
+    cfg = NocConfig(vcs_per_vnet=1, full_sweep=full_sweep)
+    sim = Simulation(
+        baseline_system(), cfg, make_scheme("upp", table2_upp_config()),
+        watchdog_window=2500,
+    )
+    install_adversarial_traffic(sim.network, witness_flows(sim.network))
+    measure = 3000 if smoke else 10_000
+    t0 = time.perf_counter()
+    result = sim.run(warmup=0, measure=measure)
+    return time.perf_counter() - t0, result
+
+
+#: (name, description, runner) for every benchmark configuration.
+CONFIGS: List[tuple] = [
+    (
+        "uniform_r0.02",
+        "8-chiplet large system, UPP, uniform random @ 0.02 flits/node/cycle",
+        lambda fs, smoke: _run_uniform(0.02, fs, smoke),
+    ),
+    (
+        "uniform_r0.05",
+        "8-chiplet large system, UPP, uniform random @ 0.05 flits/node/cycle",
+        lambda fs, smoke: _run_uniform(0.05, fs, smoke),
+    ),
+    (
+        "uniform_r0.08",
+        "8-chiplet large system, UPP, uniform random @ 0.08 flits/node/cycle",
+        lambda fs, smoke: _run_uniform(0.08, fs, smoke),
+    ),
+    (
+        "coherence_canneal",
+        "closed-loop MESI coherence workload (canneal) on the baseline system",
+        lambda fs, smoke: _run_coherence(fs, smoke),
+    ),
+    (
+        "deadlock_recovery",
+        "adversarial 1-VC deadlock provoked and recovered by UPP",
+        lambda fs, smoke: _run_deadlock_recovery(fs, smoke),
+    ),
+]
+
+#: subprocess script used to time an arbitrary checkout of the low-load
+#: config (argv: <repeats> <warmup> <measure>).
+_BASELINE_SCRIPT = """
+import sys, time
+from repro.sim.presets import table2_config, table2_upp_config, large_topology
+from repro.sim.simulator import Simulation
+from repro.sim.experiment import make_scheme
+from repro.traffic.synthetic import install_synthetic_traffic
+repeats, warmup, measure = (int(a) for a in sys.argv[1:4])
+best = float("inf")
+for _ in range(repeats):
+    sim = Simulation(large_topology(), table2_config(),
+                     make_scheme("upp", table2_upp_config()))
+    install_synthetic_traffic(sim.network, "uniform_random", 0.02)
+    t0 = time.perf_counter()
+    res = sim.run(warmup, measure)
+    best = min(best, time.perf_counter() - t0)
+print(best, res.summary["packets"])
+"""
+
+
+def _time_baseline_rev(rev: str, repeats: int, smoke: bool) -> Dict[str, object]:
+    """Check out ``rev`` into a temp worktree and time the low-load config."""
+    warmup, measure = (100, 400) if smoke else (500, 2000)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-base-") as tmp:
+        tree = str(Path(tmp) / "worktree")
+        subprocess.run(
+            ["git", "worktree", "add", "--detach", tree, rev],
+            check=True, capture_output=True,
+        )
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-c", _BASELINE_SCRIPT,
+                 str(repeats), str(warmup), str(measure)],
+                check=True, capture_output=True, text=True,
+                env={"PYTHONPATH": str(Path(tree) / "src"), "PATH": "/usr/bin:/bin"},
+            )
+        finally:
+            subprocess.run(
+                ["git", "worktree", "remove", "--force", tree],
+                check=False, capture_output=True,
+            )
+    secs, packets = proc.stdout.split()
+    return {"rev": rev, "seconds": float(secs), "packets": int(packets)}
+
+
+def _best_of(runner: Callable, full_sweep: bool, smoke: bool, repeats: int):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        secs, result = runner(full_sweep, smoke)
+        best = min(best, secs)
+    return best, result
+
+
+def run_core_bench(
+    smoke: bool = False,
+    repeats: int = 3,
+    baseline_rev: Optional[str] = None,
+    log: Callable[[str], None] = print,
+) -> Dict[str, object]:
+    """Run every config in both modes and return the report dict."""
+    if smoke:
+        repeats = 1
+    if repeats < 1:
+        raise SystemExit("bench: --repeats must be >= 1")
+    if baseline_rev:
+        probe = subprocess.run(
+            ["git", "rev-parse", "--verify", "--quiet", baseline_rev + "^{commit}"],
+            capture_output=True,
+        )
+        if probe.returncode != 0:
+            raise SystemExit(
+                f"bench: --baseline-rev {baseline_rev!r} is not a commit here"
+            )
+    rows = []
+    for name, description, runner in CONFIGS:
+        active_s, active_res = _best_of(runner, False, smoke, repeats)
+        sweep_s, sweep_res = _best_of(runner, True, smoke, repeats)
+        fp_active = result_fingerprint(active_res)
+        fp_sweep = result_fingerprint(sweep_res)
+        if fp_active != fp_sweep:
+            raise AssertionError(
+                f"{name}: active-set and full-sweep results diverge:\n"
+                f"  active: {fp_active}\n  sweep : {fp_sweep}"
+            )
+        row = {
+            "name": name,
+            "description": description,
+            "active_seconds": round(active_s, 4),
+            "full_sweep_seconds": round(sweep_s, 4),
+            "speedup_vs_full_sweep": round(sweep_s / active_s, 3),
+            "identical_results": True,
+            "packets": int(active_res.summary["packets"]),
+            "cycles": active_res.cycles,
+        }
+        rows.append(row)
+        log(
+            f"{name:>20}: active {active_s:7.3f}s  full-sweep {sweep_s:7.3f}s  "
+            f"({row['speedup_vs_full_sweep']:.2f}x, results identical)"
+        )
+    report: Dict[str, object] = {
+        "schema": "repro-bench-core/v1",
+        "generated_unix": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "smoke": smoke,
+        "repeats": repeats,
+        "configs": rows,
+    }
+    if baseline_rev:
+        base = _time_baseline_rev(baseline_rev, repeats, smoke)
+        low = next(r for r in rows if r["name"] == LOW_LOAD_CONFIG)
+        if base["packets"] != low["packets"]:
+            raise AssertionError(
+                f"baseline rev {baseline_rev} delivered {base['packets']} packets "
+                f"vs {low['packets']} now — results are not comparable"
+            )
+        base["speedup_vs_baseline"] = round(
+            base["seconds"] / low["active_seconds"], 3
+        )
+        report["baseline"] = base
+        log(
+            f"baseline {baseline_rev}: {base['seconds']:.3f}s on {LOW_LOAD_CONFIG} "
+            f"-> {base['speedup_vs_baseline']:.2f}x speedup (packets identical)"
+        )
+    return report
+
+
+def main(argv=None) -> int:
+    """CLI used by ``python -m repro bench`` and ``benchmarks/perf/run.py``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description="core wall-clock performance harness"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="short runs, single repeat (CI)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per mode (best-of)")
+    parser.add_argument("--out", default="BENCH_core.json",
+                        help="report path ('-' for stdout only)")
+    parser.add_argument("--baseline-rev", default=None,
+                        help="git rev of the pre-change core to time against")
+    args = parser.parse_args(argv)
+    if args.out != "-" and not Path(args.out).parent.is_dir():
+        parser.error(f"--out directory does not exist: {Path(args.out).parent}")
+    report = run_core_bench(
+        smoke=args.smoke, repeats=args.repeats, baseline_rev=args.baseline_rev
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out == "-":
+        print(text)
+    else:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

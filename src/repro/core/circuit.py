@@ -87,7 +87,7 @@ class ChipletCircuitTable:
         out_port = (
             Port.LOCAL
             if sig.dst == router.rid
-            else router.routing(router, in_port, sig.dst, -1)
+            else router.route(in_port, sig.dst, -1)
         )
         self.circuits[vnet] = CircuitEntry(in_port, out_port, sig.token)
         # wormhole partly-transmitted: does this router hold the head flit?

@@ -11,7 +11,7 @@ exists so the trade-off can be measured (see
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Set, Tuple
 
 
 class PopupCoordinator:

@@ -197,6 +197,23 @@ class InterposerPopupUnit:
     # ------------------------------------------------------------------ #
     # scheme-facing per-cycle hook
 
+    def idle(self) -> bool:
+        """True when :meth:`tick` is provably a no-op: no queued signals,
+        no live attempt, and per VNet neither a running counter nor a
+        stall observation that would start one.  The active-set scheduler
+        skips idle units without changing simulation results."""
+        if self._outbox:
+            return False
+        detector = self.detector
+        for vnet, attempt in enumerate(self.attempts):
+            if attempt.phase != PopupPhase.IDLE:
+                return False
+            if detector.counters[vnet]:
+                return False
+            if detector._stalled[vnet] and not detector._sent[vnet]:
+                return False
+        return True
+
     def tick(self, router, cycle: int) -> None:
         """Once per cycle: detection, timeout handling, signal outbox."""
         for vnet, attempt in enumerate(self.attempts):
@@ -243,6 +260,10 @@ class InterposerPopupUnit:
         self._outbox.append(req)
         self.stats.upward_packets += 1
         self.stats.reqs_sent += 1
+        if router._sched is not None:
+            # belt-and-braces: guarantee the router is evaluated when the
+            # ack timeout can first fire, even if all traffic drains away
+            router._sched.schedule_wake(cycle + self.cfg.ack_timeout + 1, router)
 
     def _abort(self, attempt: PopupAttempt, cycle: int, stop: bool) -> None:
         if stop:

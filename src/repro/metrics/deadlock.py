@@ -14,7 +14,7 @@ adversarial traffic, UPP and the avoidance baselines must never.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.noc.flit import Port, UPWARD_PORTS
 

@@ -136,6 +136,25 @@ class SimulationStats:
         }
 
 
+def result_fingerprint(result) -> Dict[str, object]:
+    """A canonical identity for one :class:`SimulationResult`.
+
+    Two runs are bit-identical when their fingerprints are equal: the
+    fingerprint folds in every summary metric, the deadlock outcome and
+    the scheme's own counters.  Used by the determinism regression tests
+    and by the perf harness to prove optimisations preserve results.
+    """
+    return {
+        "cycles": result.cycles,
+        "summary": {k: result.summary[k] for k in sorted(result.summary)},
+        "deadlocked": result.deadlocked,
+        "deadlock_cycle": result.deadlock_cycle,
+        "scheme_stats": {
+            k: result.scheme_stats[k] for k in sorted(result.scheme_stats)
+        },
+    }
+
+
 def install_stats(network) -> SimulationStats:
     """Create a collector and hook it into every NI's ejection path."""
     stats = SimulationStats(network.cfg.n_vnets, len(network.topo.chiplet_nodes))

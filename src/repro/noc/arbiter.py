@@ -45,6 +45,11 @@ class RoundRobinArbiter:
         requesting = set(indices)
         if not requesting:
             return None
+        if len(requesting) == 1:
+            # sole requester always wins; pointer update is unchanged
+            idx = next(iter(requesting))
+            self._pointer = (idx + 1) % self.n
+            return idx
         for offset in range(self.n):
             idx = (self._pointer + offset) % self.n
             if idx in requesting:

@@ -33,9 +33,10 @@ class VirtualChannel:
         "out_vc",
         "active_pid",
         "popup_tagged",
+        "_port",
     )
 
-    def __init__(self, vnet: int, vc_index: int, depth: int):
+    def __init__(self, vnet: int, vc_index: int, depth: int, port=None):
         self.vnet = vnet
         #: global VC index within the input port (across all VNets).
         self.vc_index = vc_index
@@ -47,6 +48,8 @@ class VirtualChannel:
         #: set when an UPP_req found this VC holding the head flit of a
         #: partly-transmitted upward packet (Sec. V-B3): popup starts here.
         self.popup_tagged = False
+        #: owning InputPort (its occupancy counter tracks our pushes/pops).
+        self._port = port
 
     @property
     def is_idle(self) -> bool:
@@ -83,10 +86,14 @@ class VirtualChannel:
             )
         flit.arrival_cycle = cycle
         self.queue.append(flit)
+        if self._port is not None:
+            self._port.occupancy += 1
 
     def pop(self) -> Flit:
         """Remove the front flit; resets the VC to IDLE after the tail."""
         flit = self.queue.popleft()
+        if self._port is not None:
+            self._port.occupancy -= 1
         if flit.is_tail:
             self.active_pid = -1
             self.out_port = None
@@ -104,14 +111,17 @@ class VirtualChannel:
 class InputPort:
     """The set of input VCs of one router port, grouped by VNet."""
 
-    __slots__ = ("port", "n_vnets", "vcs_per_vnet", "vcs")
+    __slots__ = ("port", "n_vnets", "vcs_per_vnet", "vcs", "occupancy")
 
     def __init__(self, port: Port, n_vnets: int, vcs_per_vnet: int, depth: int):
         self.port = port
         self.n_vnets = n_vnets
         self.vcs_per_vnet = vcs_per_vnet
+        #: flits buffered across all VCs, maintained by VC push/pop (the
+        #: only queue mutation sites) so hot paths can test it in O(1).
+        self.occupancy = 0
         self.vcs = [
-            VirtualChannel(vc // vcs_per_vnet, vc, depth)
+            VirtualChannel(vc // vcs_per_vnet, vc, depth, self)
             for vc in range(n_vnets * vcs_per_vnet)
         ]
 
@@ -126,8 +136,9 @@ class InputPort:
 
     @property
     def total_occupancy(self) -> int:
-        """Flits buffered across all of this port's VCs."""
-        return sum(len(vc.queue) for vc in self.vcs)
+        """Flits buffered across all of this port's VCs (the incremental
+        counter; ``occupancy()`` cross-checks it against the queues)."""
+        return self.occupancy
 
 
 class OutputPort:

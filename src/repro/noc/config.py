@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
@@ -39,6 +39,11 @@ class NocConfig:
     #: the high-water mark so tests can verify the paper's no-contention
     #: argument (Sec. V-B5) holds.
     signal_buffer_capacity: int = 8
+    #: debug flag: evaluate every router/NI/link every cycle (the pre
+    #: active-set sweep) instead of only woken components.  Simulation
+    #: results are bit-identical either way; the sweep exists so the
+    #: determinism regression tests can prove it.
+    full_sweep: bool = False
 
     @property
     def n_vcs(self) -> int:

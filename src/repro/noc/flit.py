@@ -183,7 +183,10 @@ class Flit:
     following cycle, modelling the paper's 3-stage pipeline (Fig. 5).
     """
 
-    __slots__ = ("kind", "packet", "seq", "arrival_cycle", "popup")
+    __slots__ = ("kind", "packet", "seq", "arrival_cycle", "popup", "is_header", "is_tail")
+
+    #: class-level discriminator, cheaper than isinstance in the link hot path.
+    is_signal = False
 
     def __init__(self, kind: FlitKind, packet: Packet, seq: int):
         self.kind = kind
@@ -193,16 +196,10 @@ class Flit:
         #: True while this flit is being transmitted over a UPP popup
         #: circuit (buffer-bypassing, single-stage ST, highest priority).
         self.popup = False
-
-    @property
-    def is_header(self) -> bool:
-        """True for flits that carry routing information."""
-        return self.kind in HEADER_KINDS
-
-    @property
-    def is_tail(self) -> bool:
-        """True for a packet's final flit."""
-        return self.kind in (FlitKind.TAIL, FlitKind.HEAD_TAIL)
+        #: precomputed category flags — flits are tested for header/tail
+        #: far more often than they are created.
+        self.is_header = kind is FlitKind.HEAD or kind is FlitKind.HEAD_TAIL
+        self.is_tail = kind is FlitKind.TAIL or kind is FlitKind.HEAD_TAIL
 
     def __repr__(self) -> str:
         return f"Flit({self.kind.name}, pid={self.packet.pid}, seq={self.seq})"
@@ -229,6 +226,12 @@ class SignalFlit:
     """
 
     __slots__ = ("kind", "dst", "vnet", "input_vc", "start", "token", "path", "pid")
+
+    #: signals are tracked separately in the network's occupancy counter.
+    is_signal = True
+    #: signals never carry routing headers or terminate packets.
+    is_header = False
+    is_tail = False
 
     def __init__(
         self,

@@ -5,11 +5,16 @@ directions are modelled as delivery-time-stamped FIFOs drained by the
 network at the start of each cycle, which keeps router evaluation
 order-independent: everything a router sends during cycle *t* becomes
 visible to its neighbour no earlier than cycle *t + latency*.
+
+Links participate in the network's active-set scheduler: the first send
+onto an empty link registers it with the scheduler, so the delivery phase
+touches only links with an in-flight payload.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Optional
 
 from repro.noc.flit import OPPOSITE, Port
 
@@ -18,8 +23,9 @@ class Link:
     """A unidirectional router-to-router channel with its credit return path.
 
     ``src_port`` is the output port on the upstream router; the flit enters
-    the downstream router through ``OPPOSITE[src_port]``.  Vertical links
-    (chiplet ``DOWN`` <-> interposer ``UP``) use the same class.
+    the downstream router through ``dst_port`` (defaulting to
+    ``OPPOSITE[src_port]``).  Vertical links (chiplet ``DOWN`` <->
+    interposer ``UP``) use the same class.
     """
 
     __slots__ = (
@@ -32,13 +38,27 @@ class Link:
         "_credits",
         "flits_carried",
         "faulty",
+        "_sched",
+        "_busy",
+        "kind",
+        "_order",
     )
 
-    def __init__(self, src: int, dst: int, src_port: Port, latency: int = 1):
+    #: delivery-dispatch categories used by the network scheduler.
+    ROUTER, NI_UP, NI_DOWN = range(3)
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        src_port: Port,
+        latency: int = 1,
+        dst_port: Optional[Port] = None,
+    ):
         self.src = src
         self.dst = dst
         self.src_port = src_port
-        self.dst_port = OPPOSITE[src_port]
+        self.dst_port = OPPOSITE[src_port] if dst_port is None else dst_port
         if latency < 1:
             raise ValueError("link latency must be >= 1 cycle")
         self.latency = latency
@@ -46,6 +66,19 @@ class Link:
         self._credits: deque = deque()  # (deliver_cycle, Credit)
         self.flits_carried = 0
         self.faulty = False
+        #: network scheduler (set by the owning network); None standalone.
+        self._sched = None
+        #: True while registered in the scheduler's busy-link set.
+        self._busy = False
+        #: delivery-dispatch category (ROUTER / NI_UP / NI_DOWN).
+        self.kind = Link.ROUTER
+        #: position in the network's delivery order (full-sweep order).
+        self._order = 0
+
+    def _register(self) -> None:
+        if not self._busy and self._sched is not None:
+            self._busy = True
+            self._sched.wake_link(self)
 
     def send_flit(self, flit, out_vc: int, cycle: int) -> None:
         """Enqueue a flit departing the upstream switch at ``cycle`` (ST);
@@ -54,15 +87,27 @@ class Link:
             raise RuntimeError(f"flit sent over faulty link {self.src}->{self.dst}")
         self._flits.append((cycle + self.latency, flit, out_vc))
         self.flits_carried += 1
+        sched = self._sched
+        if sched is not None:
+            if flit.is_signal:
+                sched.note_signal_entered_link()
+            if not self._busy:
+                self._busy = True
+                sched.wake_link(self)
 
     def send_credit(self, credit, cycle: int) -> None:
         """Send a credit upstream (same latency as the data path)."""
         self._credits.append((cycle + self.latency, credit))
+        if not self._busy and self._sched is not None:
+            self._busy = True
+            self._sched.wake_link(self)
 
     def deliver_flits(self, cycle: int):
         """Yield ``(flit, out_vc)`` pairs whose latency has elapsed."""
         while self._flits and self._flits[0][0] <= cycle:
             _, flit, out_vc = self._flits.popleft()
+            if flit.is_signal and self._sched is not None:
+                self._sched.note_signal_left_link()
             yield flit, out_vc
 
     def deliver_credits(self, cycle: int):
@@ -74,6 +119,11 @@ class Link:
     def in_flight(self) -> int:
         """Flits currently traversing the link."""
         return len(self._flits)
+
+    @property
+    def idle(self) -> bool:
+        """True when neither direction has anything queued."""
+        return not self._flits and not self._credits
 
     def __repr__(self) -> str:
         return f"Link({self.src}->{self.dst} via {self.src_port.name})"

@@ -9,12 +9,21 @@ Cycle semantics (order-independent router evaluation):
 3. **NI evaluation** — ejection/reassembly, endpoint (PE) work, injection.
 4. **Scheme evaluation** — UPP deadlock detection runs here, after the
    cycle's movements are known.
+
+The network runs these phases over an **active set** rather than sweeping
+every component: links register themselves when they acquire an in-flight
+payload, routers and NIs when their state changes (flit/credit/signal
+delivery, injection, scheme action, or an explicit future-cycle timer).
+Components are evaluated in ascending id order — the same relative order
+as the full sweep — so simulation results are bit-identical to the debug
+sweep kept behind ``NocConfig.full_sweep``.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.noc.config import NocConfig
 from repro.noc.flit import Port
@@ -63,6 +72,29 @@ class Network:
         self._ni_down_links: List[Link] = []  # router -> NI
         self._ni_up_links: List[Link] = []  # NI -> router
 
+        # ---- active-set scheduler state ----
+        #: links with an in-flight payload, keyed by delivery order (the
+        #: position the full sweep would visit them in).
+        self._busy_links: Dict[int, Link] = {}
+        #: woken routers / NIs keyed by id (iterated in sorted order).
+        self._active_routers: Dict[int, Router] = {}
+        self._active_nis: Dict[int, NetworkInterface] = {}
+        #: routers that actually evaluated this cycle (consumed by scheme
+        #: ``post_cycle`` hooks, e.g. UPP detection ticks).
+        self.stepped_routers: List[Router] = []
+        #: (cycle, rid) min-heap of scheduled future router wake-ups.
+        self._timers: List = []
+        #: (cycle, node) min-heap of scheduled future NI wake-ups
+        #: (endpoint-announced events, e.g. pre-drawn injection fires).
+        self._ni_timers: List = []
+        # ---- incrementally maintained occupancy ----
+        #: flits of live packets (created at ``NI.send_message``, retired
+        #: when the packet leaves an ejection path into its queue).
+        self._live_flits = 0
+        #: UPP protocol signals currently traversing links (signals inside
+        #: router buffers are not part of :meth:`occupancy`, matching it).
+        self._link_signals = 0
+
         self._build()
         if scheme is not None:
             self.routing = scheme.build_routing(topo, self.cfg, self.rng)
@@ -96,13 +128,15 @@ class Network:
                 rid, kind, topo.coords[rid], topo.chiplet_of[rid], self.router_cfg(rid)
             )
             router._rng = self.rng
+            router._sched = self
             self.routers[rid] = router
 
         for spec in topo.links:
             if (spec.src, spec.dst) in topo.faulty:
                 continue
-            link = Link(spec.src, spec.dst, spec.src_port, cfg.link_latency)
-            link.dst_port = spec.dst_port
+            link = Link(
+                spec.src, spec.dst, spec.src_port, cfg.link_latency, spec.dst_port
+            )
             src, dst = self.routers[spec.src], self.routers[spec.dst]
             # the output port mirrors the *downstream* router's input VCs:
             # this is the credit interface that lets chiplets with
@@ -119,8 +153,11 @@ class Network:
         # NIs on every router
         for rid, router in self.routers.items():
             ni = NetworkInterface(rid, router.cfg, self.rng)
+            ni._net = self
             up = Link(rid, rid, Port.LOCAL, cfg.ni_link_latency)
             down = Link(rid, rid, Port.LOCAL, cfg.ni_link_latency)
+            up.kind = Link.NI_UP
+            down.kind = Link.NI_DOWN
             router.add_input(Port.LOCAL)
             router.add_output(Port.LOCAL)
             router.in_links[Port.LOCAL] = up
@@ -132,18 +169,136 @@ class Network:
             self._ni_up_links.append(up)
             self._ni_down_links.append(down)
 
+        # delivery order mirrors the full sweep: router links first, then
+        # NI->router links, then router->NI links
+        order = 0
+        for link in self._router_links:
+            link._order = order
+            link._sched = self
+            order += 1
+        for link in self._ni_up_links:
+            link._order = order
+            link._sched = self
+            order += 1
+        for link in self._ni_down_links:
+            link._order = order
+            link._sched = self
+            order += 1
+
+    # ------------------------------------------------------------------ #
+    # active-set scheduler hooks (called by links / routers / NIs)
+
+    def wake_link(self, link: Link) -> None:
+        """Register a link that just acquired an in-flight payload."""
+        self._busy_links[link._order] = link
+
+    def wake_router(self, router: Router) -> None:
+        """Register a router whose state changed."""
+        self._active_routers[router.rid] = router
+
+    def wake_ni(self, ni: NetworkInterface) -> None:
+        """Register an NI whose state changed."""
+        self._active_nis[ni.node] = ni
+
+    def schedule_wake(self, cycle: int, router: Router) -> None:
+        """Arrange for a router to be evaluated at a future cycle even if
+        nothing else wakes it (UPP timeout counters, pipeline-eligibility
+        waits and similar timers)."""
+        heapq.heappush(self._timers, (cycle, router.rid))
+
+    def schedule_ni_wake(self, cycle: int, ni: NetworkInterface) -> None:
+        """Arrange for an NI to be evaluated at a future cycle (its
+        endpoint announced the next cycle it could act)."""
+        heapq.heappush(self._ni_timers, (cycle, ni.node))
+
+    def note_signal_entered_link(self) -> None:
+        self._link_signals += 1
+
+    def note_signal_left_link(self) -> None:
+        self._link_signals -= 1
+
+    def note_flits_created(self, n: int) -> None:
+        self._live_flits += n
+
+    def note_flits_retired(self, n: int) -> None:
+        self._live_flits -= n
+
     # ------------------------------------------------------------------ #
     # per-cycle evaluation
 
     def step(self) -> None:
         """Advance the whole system by one cycle (see module docstring
         for the phase order)."""
+        if self.cfg.full_sweep:
+            self._step_full()
+        else:
+            self._step_active()
+
+    def _step_full(self) -> None:
+        """Debug sweep: visit every component every cycle.  Kept so the
+        determinism regression suite can prove the active-set core yields
+        bit-identical results."""
         cycle = self.cycle
-        self._deliver(cycle)
+        timers = self._timers
+        while timers and timers[0][0] <= cycle:
+            _, rid = heapq.heappop(timers)
+            self.routers[rid].wake()
+        ni_timers = self._ni_timers
+        while ni_timers and ni_timers[0][0] <= cycle:
+            _, node = heapq.heappop(ni_timers)
+            self.nis[node]._wake()
+        self._deliver_full(cycle)
+        stepped = self.stepped_routers
+        stepped.clear()
         for router in self.routers.values():
-            router.step(cycle)
+            if router._dirty:
+                router.step(cycle)
+                stepped.append(router)
         for ni in self.nis.values():
             ni.step(cycle)
+        if self.scheme is not None:
+            self.scheme.post_cycle(self, cycle)
+        self.cycle += 1
+
+    def _step_active(self) -> None:
+        cycle = self.cycle
+        timers = self._timers
+        while timers and timers[0][0] <= cycle:
+            _, rid = heapq.heappop(timers)
+            self.routers[rid].wake()
+        ni_timers = self._ni_timers
+        while ni_timers and ni_timers[0][0] <= cycle:
+            _, node = heapq.heappop(ni_timers)
+            self.nis[node]._wake()
+
+        # 1. delivery over busy links, in full-sweep visit order
+        if self._busy_links:
+            self._deliver_active(cycle)
+
+        # 2. routers, ascending rid (== full-sweep dict order)
+        stepped = self.stepped_routers
+        stepped.clear()
+        active = self._active_routers
+        if active:
+            for rid in sorted(active):
+                router = active[rid]
+                router.step(cycle)
+                stepped.append(router)
+                if not router._dirty:
+                    del active[rid]
+                    router._queued = False
+
+        # 3. NIs, ascending node id
+        active_nis = self._active_nis
+        if active_nis:
+            for node in sorted(active_nis):
+                ni = active_nis[node]
+                ni.step(cycle)
+                if ni._can_sleep(cycle):
+                    del active_nis[node]
+                    ni._queued = False
+
+        # 4. scheme control logic
         if self.scheme is not None:
             self.scheme.post_cycle(self, cycle)
         self.cycle += 1
@@ -153,45 +308,119 @@ class Network:
         for _ in range(cycles):
             self.step()
 
-    def _deliver(self, cycle: int) -> None:
-        for link in self._router_links:
-            if link._flits:
+    def _deliver_one(self, link: Link, cycle: int) -> None:
+        """Drain one link's due flits and credits into its endpoints.
+
+        Works directly on the link's timestamped deques (the single
+        hottest loop in the simulator — the generator form of
+        :meth:`Link.deliver_flits` is kept for standalone use)."""
+        kind = link.kind
+        flits = link._flits
+        credits = link._credits
+        if kind == Link.ROUTER:
+            if flits:
                 dst = self.routers[link.dst]
-                for flit, out_vc in link.deliver_flits(cycle):
-                    dst.receive_flit(flit, out_vc, link.dst_port, cycle)
+                dst_port = link.dst_port
+                while flits and flits[0][0] <= cycle:
+                    _, flit, out_vc = flits.popleft()
+                    if flit.is_signal:
+                        self._link_signals -= 1
+                    dst.receive_flit(flit, out_vc, dst_port, cycle)
                     self.activity += 1
                     self.link_traversals += 1
-            if link._credits:
+            if credits:
                 src = self.routers[link.src]
-                for credit in link.deliver_credits(cycle):
-                    src.receive_credit(link.src_port, credit)
-        for link in self._ni_up_links:  # NI -> router LOCAL input
-            if link._flits:
+                src_port = link.src_port
+                while credits and credits[0][0] <= cycle:
+                    src.receive_credit(src_port, credits.popleft()[1])
+        elif kind == Link.NI_UP:  # NI -> router LOCAL input
+            if flits:
                 dst = self.routers[link.dst]
-                for flit, out_vc in link.deliver_flits(cycle):
+                while flits and flits[0][0] <= cycle:
+                    _, flit, out_vc = flits.popleft()
+                    if flit.is_signal:
+                        self._link_signals -= 1
                     dst.receive_flit(flit, out_vc, Port.LOCAL, cycle)
                     self.activity += 1
-            if link._credits:
+            if credits:
                 ni = self.nis[link.src]
-                for credit in link.deliver_credits(cycle):
-                    ni.receive_credit(credit)
-        for link in self._ni_down_links:  # router LOCAL output -> NI
-            if link._flits:
+                while credits and credits[0][0] <= cycle:
+                    ni.receive_credit(credits.popleft()[1])
+        else:  # router LOCAL output -> NI
+            if flits:
                 ni = self.nis[link.dst]
-                for flit, out_vc in link.deliver_flits(cycle):
+                while flits and flits[0][0] <= cycle:
+                    _, flit, out_vc = flits.popleft()
+                    if flit.is_signal:
+                        self._link_signals -= 1
                     ni.receive_flit(flit, out_vc, cycle)
                     self.activity += 1
-            if link._credits:
+            if credits:
                 router = self.routers[link.src]
-                for credit in link.deliver_credits(cycle):
-                    router.receive_credit(Port.LOCAL, credit)
+                while credits and credits[0][0] <= cycle:
+                    router.receive_credit(Port.LOCAL, credits.popleft()[1])
+
+    def _deliver_active(self, cycle: int) -> None:
+        busy = self._busy_links
+        for order in sorted(busy):
+            link = busy[order]
+            self._deliver_one(link, cycle)
+            # a credit sent *during* this delivery phase (e.g. immediate
+            # boundary-buffer absorption) re-arms the link, so only
+            # genuinely empty links retire from the busy set
+            if not link._flits and not link._credits:
+                del busy[order]
+                link._busy = False
+
+    def _deliver_full(self, cycle: int) -> None:
+        for link in self._router_links:
+            if link._flits or link._credits:
+                self._deliver_one(link, cycle)
+        for link in self._ni_up_links:
+            if link._flits or link._credits:
+                self._deliver_one(link, cycle)
+        for link in self._ni_down_links:
+            if link._flits or link._credits:
+                self._deliver_one(link, cycle)
+
+    # ------------------------------------------------------------------ #
+    # runtime reconfiguration
+
+    def reconfigure_routing(self, new_faulty_links=None) -> None:
+        """Rebuild the system routing after a fault event.
+
+        ``new_faulty_links`` is an iterable of ``(src, dst)`` router pairs
+        to mark faulty before the rebuild (the reverse direction must be
+        listed separately if both failed).  Every router's route-decision
+        cache is invalidated, the scheme's routing function is rebuilt over
+        the updated topology, and all components are woken so in-flight
+        traffic re-evaluates against the new tables.
+        """
+        if new_faulty_links:
+            newly = set(new_faulty_links)
+            self.topo.faulty.update(newly)
+            for link in self._router_links:
+                if (link.src, link.dst) in newly:
+                    link.faulty = True
+        self.routing = self.scheme.build_routing(self.topo, self.cfg, self.rng)
+        for router in self.routers.values():
+            router.routing = self.routing
+            router.invalidate_route_cache()
+            router.wake()
+        for ni in self.nis.values():
+            ni._wake()
+        self.scheme.on_reconfigure(self)
 
     # ------------------------------------------------------------------ #
     # introspection
 
     def occupancy(self) -> int:
         """Flits resident anywhere in the system, including messages still
-        waiting in NI injection queues (watchdog / drain check)."""
+        waiting in NI injection queues (watchdog / drain check).
+
+        This is a full sweep over every buffer — debug/verification only;
+        the hot paths use :attr:`tracked_occupancy`.
+        """
         total = sum(r.occupancy() for r in self.routers.values())
         total += sum(link.in_flight for link in self.links)
         for ni in self.nis.values():
@@ -202,6 +431,12 @@ class Network:
             total += sum(sum(p.size for p in q) for q in ni.injection_queues)
         return total
 
+    @property
+    def tracked_occupancy(self) -> int:
+        """Incrementally maintained equivalent of :meth:`occupancy`:
+        live packet flits plus protocol signals in flight on links."""
+        return self._live_flits + self._link_signals
+
     def in_network_flits(self) -> int:
         """Flits in routers/links (excludes NI queues)."""
         total = sum(r.occupancy() for r in self.routers.values())
@@ -211,18 +446,29 @@ class Network:
     def drain(self, max_cycles: int = 100_000) -> bool:
         """Run with no new injection until the network empties.  Returns
         True if drained, False if occupancy stopped changing (deadlock)."""
+        assert self.tracked_occupancy == self.occupancy(), (
+            "incremental occupancy counter out of sync at drain start: "
+            f"tracked={self.tracked_occupancy} actual={self.occupancy()}"
+        )
         idle = 0
         last_activity = self.activity
-        while self.occupancy() > 0:
+        drained = True
+        while self.tracked_occupancy > 0:
             self.step()
             if self.activity == last_activity:
                 idle += 1
                 if idle > 2000:
-                    return False
+                    drained = False
+                    break
             else:
                 idle = 0
                 last_activity = self.activity
             max_cycles -= 1
             if max_cycles <= 0:
-                return False
-        return True
+                drained = False
+                break
+        assert self.tracked_occupancy == self.occupancy(), (
+            "incremental occupancy counter out of sync at drain end: "
+            f"tracked={self.tracked_occupancy} actual={self.occupancy()}"
+        )
+        return drained

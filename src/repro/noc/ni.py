@@ -37,6 +37,14 @@ class Endpoint:
     def step(self, cycle: int) -> None:  # pragma: no cover - interface
         """Generate new messages into the NI injection queues."""
 
+    def next_event(self, cycle: int) -> Optional[int]:
+        """The earliest future cycle at which ``step`` could act, or
+        ``None`` when the endpoint must be polled every cycle.  Endpoints
+        whose generation schedule is known ahead of time (e.g. Bernoulli
+        injectors with a pre-drawn success) override this so their NI can
+        sleep between events; the NI arms a timer for the returned cycle."""
+        return None
+
     def consume(self, cycle: int) -> None:
         """Drain ejection queues.  Default: consume every message class
         unconditionally at one message per VNet per cycle (an ideal sink)."""
@@ -54,6 +62,29 @@ class NetworkInterface:
         self.router = None
         self.to_router = None  # Link NI -> router (set by network)
         self.from_router = None  # Link router -> NI
+        #: active-set scheduler (the owning network); None standalone.
+        self._net = None
+        #: True while registered in the scheduler's active-NI set.
+        self._queued = False
+        #: Endpoint polling flags: an endpoint that overrides ``step``
+        #: (traffic draws) or ``consume`` (custom consumption policy) owns
+        #: per-cycle behaviour and must be polled on that side every
+        #: cycle; either flag keeps the NI from sleeping.
+        self._ep_step_poll = False
+        self._ep_consume_poll = False
+        #: last endpoint-event cycle a timer was armed for (dedup).
+        self._timer_cycle = -1
+
+        # Incremental occupancy/work counters (each mirrors a container so
+        # the per-cycle hot path and the sleep check are O(1)):
+        #: flits buffered in the NI-side input VCs.
+        self._in_flits = 0
+        #: messages waiting in the injection queues.
+        self._queued_msgs = 0
+        #: messages sitting in the ejection queues awaiting consumption.
+        self._ejection_ready = 0
+        #: held UPP_req signals awaiting a free ejection entry.
+        self._pending_count = 0
 
         #: credit mirror of the router's LOCAL input port.
         self.out_credits = OutputPort(Port.LOCAL, cfg.n_vnets, cfg.vcs_per_vnet, cfg.vc_depth)
@@ -104,6 +135,64 @@ class NetworkInterface:
         """Install the processing element behind this NI."""
         self.endpoint = endpoint
         endpoint.bind(self)
+        cls = type(endpoint)
+        self._ep_step_poll = cls.step is not Endpoint.step
+        self._ep_consume_poll = cls.consume is not Endpoint.consume
+        self._wake()
+
+    # ------------------------------------------------------------------ #
+    # active-set scheduling
+
+    def _wake(self) -> None:
+        """Register with the network's active-NI set."""
+        if not self._queued and self._net is not None:
+            self._queued = True
+            self._net.wake_ni(self)
+
+    def _can_sleep(self, cycle: int) -> bool:
+        """True when stepping this NI is provably a no-op until the next
+        wake event (flit/credit/signal arrival, a new message, or the
+        endpoint's own announced next event).
+
+        A backlogged injection queue does not keep the NI awake on its own:
+        when every non-empty VNet is blocked on credits/VC availability
+        (and no injection gate is installed), the next state change can
+        only come from a returning credit, which wakes the NI.  With an
+        injection gate the NI must keep polling — the gate's handshake
+        completes out-of-band in the scheme controller.
+
+        An endpoint that overrides ``step`` normally forces per-cycle
+        polling, unless its ``next_event`` names a future cycle — then a
+        timer wake at that cycle replaces the polling.
+        """
+        ep_wake = -1
+        if self._ep_consume_poll:
+            return False
+        if self._ep_step_poll:
+            wake = self.endpoint.next_event(cycle)
+            if wake is None or wake <= cycle:
+                return False
+            ep_wake = wake
+        if self._in_flits or self._pending_count or self._ejection_ready:
+            return False
+        if self._stream_flits:
+            # mid-stream: sleep only while blocked on the stream VC credit
+            if self.out_credits.credits[self._stream_vc] > 0:
+                return False
+        elif self._queued_msgs:
+            if self.inject_gate is not None:
+                return False
+            for vnet, queue in enumerate(self.injection_queues):
+                if not queue:
+                    continue
+                packet = queue[0]
+                need = packet.size if self.cfg.flow_control == "vct" else 1
+                if self.out_credits.free_vcs(vnet, need):
+                    return False
+        if ep_wake >= 0 and self._net is not None and ep_wake != self._timer_cycle:
+            self._net.schedule_ni_wake(ep_wake, self)
+            self._timer_cycle = ep_wake
+        return True
 
     # ------------------------------------------------------------------ #
     # message-level API (used by endpoints and traffic generators)
@@ -116,6 +205,10 @@ class NetworkInterface:
             return None
         packet = Packet(self.node, dst, vnet, size, cycle, payload=payload)
         queue.append(packet)
+        self._queued_msgs += 1
+        if self._net is not None:
+            self._net.note_flits_created(size)
+        self._wake()
         return packet
 
     def injection_space(self, vnet: int) -> int:
@@ -128,6 +221,7 @@ class NetworkInterface:
         queue = self.ejection_queues[vnet]
         if not queue:
             return None
+        self._ejection_ready -= 1
         return queue.popleft()
 
     def peek_message(self, vnet: int) -> Optional[Packet]:
@@ -148,18 +242,29 @@ class NetworkInterface:
 
     def step(self, cycle: int) -> None:
         """One NI cycle: eject/reassemble, service reservations, run the
-        PE, then stream one injection flit."""
-        self._eject(cycle)
-        self._service_pending_reservations(cycle)
-        if self.endpoint is not None:
+        PE, then stream one injection flit.
+
+        Each phase is guarded by an incrementally maintained counter so an
+        NI with nothing to do costs a handful of attribute checks; phase
+        order matches the documented cycle semantics exactly.
+        """
+        if self._in_flits:
+            self._eject(cycle)
+        if self._pending_count:
+            self._service_pending_reservations(cycle)
+        if self._ep_consume_poll:
+            # custom consumption policy: polled whether or not the
+            # ejection queues hold anything (it may track cycles)
             self.endpoint.consume(cycle)
-            self.endpoint.step(cycle)
-        else:
-            # no PE attached: behave as an ideal sink so the ejection
-            # queues drain (endpoints override this with real policies)
+        elif self._ejection_ready:
+            # base consumption policy / no PE attached: behave as an ideal
+            # sink so the ejection queues drain
             for vnet in range(self.cfg.n_vnets):
                 self.consume_message(vnet)
-        self._inject(cycle)
+        if self._ep_step_poll:
+            self.endpoint.step(cycle)
+        if self._stream_flits or self._queued_msgs:
+            self._inject(cycle)
 
     # ------------------------------------------------------------------ #
     # injection side
@@ -195,6 +300,7 @@ class NetworkInterface:
             if self.inject_gate is not None and not self.inject_gate(self, packet, cycle):
                 continue
             queue.popleft()
+            self._queued_msgs -= 1
             self._stream_vc = self.rng.choice(free) if len(free) > 1 else free[0]
             self.out_credits.allocate(self._stream_vc, packet.pid)
             packet.injected_cycle = cycle
@@ -205,6 +311,8 @@ class NetworkInterface:
     def receive_credit(self, credit: Credit) -> None:
         """Credit return from the router's LOCAL input port."""
         self.out_credits.return_credit(credit.vc, credit.vc_free)
+        # a credit can unblock a stalled stream or a backlogged queue
+        self._wake()
 
     # ------------------------------------------------------------------ #
     # ejection side
@@ -215,6 +323,8 @@ class NetworkInterface:
             self.receive_signal(flit, cycle)
             return
         self.in_port.vcs[vc].push(flit, cycle)
+        self._in_flits += 1
+        self._wake()
 
     def _eject(self, cycle: int) -> None:
         """Reassemble at most one flit per cycle from the NI input VCs.
@@ -235,6 +345,7 @@ class NetworkInterface:
             if flit.is_tail and self.free_ejection_entries(vc.vnet) <= 0:
                 continue
             flit = vc.pop()
+            self._in_flits -= 1
             self._assembly.setdefault(vc.vc_index, []).append(flit)
             self.from_router.send_credit(Credit(vc.vc_index, flit.is_tail), cycle)
             if flit.is_tail:
@@ -251,8 +362,11 @@ class NetworkInterface:
             )
         packet.ejected_cycle = cycle
         self.ejection_queues[packet.vnet].append(packet)
+        self._ejection_ready += 1
         self.ejected_packets += 1
         self.ejected_flits += packet.size
+        if self._net is not None:
+            self._net.note_flits_retired(packet.size)
         if self.on_eject is not None:
             self.on_eject(packet)
 
@@ -261,6 +375,7 @@ class NetworkInterface:
 
     def receive_signal(self, sig: SignalFlit, cycle: int) -> None:
         """UPP_req / UPP_stop processing at the ejection side (Fig. 6)."""
+        self._wake()
         vnet = sig.vnet
         if sig.kind == FlitKind.UPP_REQ:
             if self.free_ejection_entries(vnet) > 0:
@@ -268,6 +383,8 @@ class NetworkInterface:
             else:
                 # hold the req until the PE frees an entry; guaranteed to
                 # happen by the consumption-policy proof of Sec. V-B4.
+                if self.pending_reqs[vnet] is None:
+                    self._pending_count += 1
                 self.pending_reqs[vnet] = sig
                 self.reservation_waits += 1
         elif sig.kind == FlitKind.UPP_STOP:
@@ -276,6 +393,7 @@ class NetworkInterface:
             pending = self.pending_reqs[vnet]
             if pending is not None and pending.token == sig.token:
                 self.pending_reqs[vnet] = None
+                self._pending_count -= 1
         else:
             raise ValueError(f"NI received unexpected signal {sig!r}")
 
@@ -284,6 +402,7 @@ class NetworkInterface:
             sig = self.pending_reqs[vnet]
             if sig is not None and self.free_ejection_entries(vnet) > 0:
                 self.pending_reqs[vnet] = None
+                self._pending_count -= 1
                 self._grant_reservation(sig, cycle)
 
     def _grant_reservation(self, req: SignalFlit, cycle: int) -> None:
@@ -297,6 +416,7 @@ class NetworkInterface:
     def eject_popup_flit(self, flit: Flit, cycle: int) -> None:
         """Terminal hop of a popup circuit: the flit lands directly in the
         reserved ejection-queue entry (Sec. V-B)."""
+        self._wake()
         vnet = flit.packet.vnet
         assembly = self._popup_assembly[vnet]
         assembly.append(flit)
@@ -318,9 +438,12 @@ class NetworkInterface:
             self.popup_overflows += 1
         packet.ejected_cycle = cycle
         self.ejection_queues[vnet].append(packet)
+        self._ejection_ready += 1
         self.ejected_packets += 1
         self.ejected_flits += packet.size
         self.popup_ejections += 1
+        if self._net is not None:
+            self._net.note_flits_retired(packet.size)
         if self.on_eject is not None:
             self.on_eject(packet)
 

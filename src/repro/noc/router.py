@@ -121,10 +121,22 @@ class Router:
 
         self.energy = EnergyCounters()
         self._rng = None  # set by the network (shared seeded RNG)
+        #: cached ``cfg.sa_eligibility_delay`` (property lookups are hot).
+        self._sa_delay = cfg.sa_eligibility_delay
         #: False when the router provably has nothing to do this cycle
         #: (no buffered flits, signals or popup work) — lets the network
         #: skip idle routers so per-cycle cost scales with traffic.
         self._dirty = False
+        #: active-set scheduler (the owning network); None standalone.
+        self._sched = None
+        #: True while registered in the scheduler's active-router set.
+        self._queued = False
+        #: True while asleep with buffered-but-blocked flits: the only
+        #: sleep state in which a returning credit must wake the router.
+        self._hibernating = False
+        #: memoised route decisions, keyed by (in_port, dst, src); cleared
+        #: by :meth:`invalidate_route_cache` on routing rebinds.
+        self._route_cache: Dict[Tuple[Port, int, int], Port] = {}
 
     # ------------------------------------------------------------------ #
     # construction helpers (called by the network builder)
@@ -149,16 +161,23 @@ class Router:
     # delivery phase (network drains links into routers)
 
     def receive_flit(self, flit, vc: int, in_port: Port, cycle: int) -> None:
-        """Buffer-write stage for an arriving flit or signal."""
-        self._dirty = True
+        """Buffer-write stage for an arriving flit or signal.
+
+        Signals, popup flits and boundary-buffer absorption need the
+        router awake this very cycle.  A normal buffered flit is only
+        SA-eligible ``sa_eligibility_delay`` cycles after the write, so a
+        sleeping router defers its wake-up to that cycle via a timer."""
         if isinstance(flit, SignalFlit):
+            self._wake()
             self._receive_signal(flit, in_port, cycle)
             return
         if flit.popup:
             # upward flit: bypasses buffers, forwarded via circuit in step()
+            self._wake()
             self._popup_in.append((flit, in_port))
             return
         if self.rc_unit is not None and in_port == Port.DOWN:
+            self._wake()
             # remote control absorbs inbound inter-chiplet packets into the
             # per-VNet boundary buffers when their class has space (credit
             # returns immediately); otherwise the packet parks in the
@@ -171,6 +190,14 @@ class Router:
             return
         self.in_ports[in_port].vcs[vc].push(flit, cycle)
         self.energy.buffer_writes += 1
+        if not self._dirty:
+            due = cycle + self._sa_delay
+            if due > cycle and self._sched is not None:
+                # asleep and the flit cannot act yet: wake exactly when it
+                # becomes eligible (skipped steps would be no-ops)
+                self._sched.schedule_wake(due, self)
+            else:
+                self._wake()
 
     def _receive_signal(self, sig: SignalFlit, in_port: Port, cycle: int) -> None:
         if sig.kind == FlitKind.UPP_REQ:
@@ -188,18 +215,57 @@ class Router:
 
     def inject_signal(self, sig: SignalFlit, cycle: int) -> None:
         """Enqueue a locally generated signal (popup unit / NI ack)."""
-        self._dirty = True
+        self._wake()
         self._receive_signal(sig, Port.LOCAL, cycle)
 
     def wake(self) -> None:
         """Force evaluation on the next cycle.  Needed only when state is
         planted directly into buffers (tests, diagnostics) instead of
         arriving through :meth:`receive_flit`."""
+        self._wake()
+
+    def _wake(self) -> None:
+        """Mark dirty and register with the network's active-router set."""
         self._dirty = True
+        self._hibernating = False
+        if not self._queued and self._sched is not None:
+            self._queued = True
+            self._sched.wake_router(self)
 
     def receive_credit(self, port: Port, credit: Credit) -> None:
-        """Apply a returned credit to the output port's bookkeeping."""
+        """Apply a returned credit to the output port's bookkeeping.
+
+        Credits are a wake source: a hibernating router's flits are
+        blocked on downstream space, and a credit is exactly the event
+        that frees some.  A router asleep with *empty* buffers has
+        nothing a credit could enable, so it stays asleep."""
         self.out_ports[port].return_credit(credit.vc, credit.vc_free)
+        if self._hibernating:
+            self._wake()
+
+    # ------------------------------------------------------------------ #
+    # route computation (memoised)
+
+    def route(self, in_port: Port, dst: int, src: int) -> Port:
+        """Route computation with a per-router decision cache.
+
+        The system routing function is deterministic at lookup time (all
+        randomness is consumed when the binding maps are built), so the
+        decision for a given (input port, destination, source) triple never
+        changes until the routing function itself is rebound — at which
+        point :meth:`invalidate_route_cache` must be called.
+        """
+        key = (in_port, dst, src)
+        out = self._route_cache.get(key)
+        if out is None:
+            out = self.routing(self, in_port, dst, src)
+            self._route_cache[key] = out
+        return out
+
+    def invalidate_route_cache(self) -> None:
+        """Drop memoised route decisions (fault reconfiguration, routing
+        table rebinding)."""
+        self._route_cache.clear()
 
     # ------------------------------------------------------------------ #
     # main per-cycle evaluation
@@ -228,24 +294,63 @@ class Router:
             self.upp_tables.drain_tagged(self, cycle)
 
         # 3. protocol signals — priority over normal flits in SA.
-        self._process_signals(cycle)
+        if self.sig_ack or self.sig_req_stop:
+            self._process_signals(cycle)
 
         # 4. remote-control boundary re-injection competes as an input.
         # 5. normal switch allocation.
         self._switch_allocation(cycle)
 
-        # quiesce check: drop the dirty flag when nothing is left to do
+        # quiesce / hibernation: drop the dirty flag when re-evaluating
+        # next cycle provably cannot do or observe anything new.
         if (
             not self.sig_req_stop
             and not self.sig_ack
             and not self._popup_in
             and (self.rc_unit is None or self.rc_unit.occupancy() == 0)
             and (self.upp_tables is None or not self.upp_tables.has_state())
-            and not any(
-                vc.queue for ip in self.in_ports.values() for vc in ip.vcs
-            )
         ):
-            self._dirty = False
+            occupancy = 0
+            for iport in self.in_ports.values():
+                occupancy += iport.occupancy
+            if occupancy == 0:
+                self._dirty = False
+            elif not self._used_out:
+                self._try_hibernate(cycle)
+
+    def _try_hibernate(self, cycle: int) -> None:
+        """Sleep while every buffered flit is blocked.
+
+        Reached only when this cycle moved nothing (``_used_out`` empty),
+        so every queued head is either pipeline-ineligible or blocked on
+        downstream credits/VCs.  Both unblocking events are covered by a
+        wake source — credit arrival (:meth:`receive_credit`) and a
+        future-cycle timer at the earliest head's eligibility — so every
+        skipped evaluation is provably a no-op.
+
+        With UPP attached the router must keep evaluating while an
+        upward stall is observable (the detector counts those cycles
+        toward its threshold) or a popup attempt is in flight."""
+        if self.upp is not None and (any(self.stalled_up) or not self.upp.idle()):
+            return
+        if self._sched is None:
+            return  # standalone use (tests): no timer wheel, stay dirty
+        eligible_cycle = cycle - self._sa_delay
+        next_wake = -1
+        for iport in self.in_ports.values():
+            if not iport.occupancy:
+                continue
+            for vc in iport.vcs:
+                if vc.queue:
+                    arrival = vc.queue[0].arrival_cycle
+                    if arrival > eligible_cycle:
+                        due = arrival + self._sa_delay
+                        if next_wake < 0 or due < next_wake:
+                            next_wake = due
+        if next_wake >= 0:
+            self._sched.schedule_wake(next_wake, self)
+        self._dirty = False
+        self._hibernating = True
 
     # ------------------------------------------------------------------ #
     # popup datapath
@@ -301,7 +406,7 @@ class Router:
         # ports before normal flits are considered.  Each buffer dispatches
         # at most one signal per cycle (serial transmission, Sec. V-B5); a
         # held signal (circuit busy) does not block the ones behind it.
-        eligible = cycle - self.cfg.sa_eligibility_delay
+        eligible = cycle - self._sa_delay
         for buf in (self.sig_ack, self.sig_req_stop):
             for idx, (sig, in_port, arrival) in enumerate(buf):
                 if arrival > eligible:
@@ -354,7 +459,7 @@ class Router:
             return self._reverse_hop(sig)
         if sig.dst == self.rid:
             return Port.LOCAL
-        return self.routing(self, in_port, sig.dst, -1)
+        return self.route(in_port, sig.dst, -1)
 
     def _reverse_hop(self, sig: SignalFlit) -> Optional[Port]:
         # sig.path holds (router, in_port) pairs recorded on the forward
@@ -375,11 +480,13 @@ class Router:
         nominating inputs via a persistent round-robin arbiter.  The
         persistent output pointers are what guarantee every contender is
         served — without them, convoys resonate and starve."""
-        eligible_cycle = cycle - self.cfg.sa_eligibility_delay
+        eligible_cycle = cycle - self._sa_delay
         n_vnets = self.cfg.n_vnets
 
         nominations: Dict[Port, List[Tuple[Port, object]]] = {}
         for in_port, iport in self.in_ports.items():
+            if not iport.occupancy:
+                continue  # empty port: no requests, no stalls, no arbitration
             if in_port in self._used_in:
                 # still record upward stalls for detection fidelity
                 self._note_up_stalls(iport, eligible_cycle)
@@ -441,9 +548,7 @@ class Router:
             if vc.out_port is None:
                 # route computation (performed at BW in hardware; computing
                 # lazily here is equivalent since the result is cached)
-                vc.out_port = self.routing(
-                    self, in_port, flit.packet.dst, flit.packet.src
-                )
+                vc.out_port = self.route(in_port, flit.packet.dst, flit.packet.src)
             out_port = vc.out_port
             blocked = self._output_blocked(vc, out_port, flit)
             if out_port in UPWARD_PORTS and (blocked or out_port in self._used_out):

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Dict, List
+from typing import Dict
 
 from repro.topology.chiplet import SystemTopology
 

@@ -16,7 +16,7 @@ from typing import Dict, List, Tuple
 
 import networkx as nx
 
-from repro.noc.flit import OPPOSITE, Port, UPWARD_PORTS
+from repro.noc.flit import Port, UPWARD_PORTS
 from repro.topology.chiplet import SystemTopology
 
 

@@ -11,7 +11,7 @@ composable-routing baseline's restricted chiplet tables.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.noc.flit import OPPOSITE, Port
 from repro.routing.base import MESH_DIRS, TurnModel

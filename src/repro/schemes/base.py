@@ -69,6 +69,10 @@ class DeadlockScheme:
     def post_cycle(self, network, cycle: int) -> None:
         """Per-cycle control logic after router and NI evaluation."""
 
+    def on_reconfigure(self, network) -> None:
+        """React to a routing rebuild (``Network.reconfigure_routing``):
+        refresh any cached routing references or binding maps."""
+
     def qualitative_profile(self) -> Dict[str, bool]:
         raise NotImplementedError
 

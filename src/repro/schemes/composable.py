@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import networkx as nx
 
 from repro.noc.flit import OPPOSITE, Port
-from repro.routing.base import MESH_DIRS, RestrictedTurnModel, XYTurnModel
+from repro.routing.base import RestrictedTurnModel, XYTurnModel
 from repro.routing.hierarchical import HierarchicalRouting
 from repro.routing.table import TableRouting
 from repro.routing.xy import XYLocalRouting

@@ -28,7 +28,7 @@ Performance model follows the paper's characterisation:
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.noc.flit import Port
 from repro.schemes.base import DeadlockScheme
@@ -120,7 +120,7 @@ class BoundaryBufferUnit:
                 if cycle < ready:
                     continue
                 packet = flit.packet
-                out_port = router.routing(router, Port.DOWN, packet.dst, packet.src)
+                out_port = router.route(Port.DOWN, packet.dst, packet.src)
                 if out_port in router._used_out:
                     continue
                 oport = router.out_ports[out_port]
@@ -273,7 +273,13 @@ class RemoteControlScheme(DeadlockScheme):
 
     def post_cycle(self, network, cycle: int) -> None:
         for controller in self.controllers.values():
-            controller.step(cycle, self._deliver_grant)
+            # stepping a controller with no queued requests and no grants
+            # in flight is a no-op; skip it so per-cycle cost tracks load
+            if controller.queue or controller.in_flight_grants:
+                controller.step(cycle, self._deliver_grant)
+
+    def on_reconfigure(self, network) -> None:
+        self._routing = network.routing
 
     # ------------------------------------------------------------------ #
 

@@ -29,6 +29,10 @@ class UPPScheme(DeadlockScheme):
         self.cfg = upp_cfg if upp_cfg is not None else UPPConfig()
         self.stats = UPPStats()
         self._popup_units = []
+        #: interposer routers whose popup unit has live state (non-idle
+        #: attempts, queued signals or running detection counters); these
+        #: must keep ticking even when their router is otherwise asleep.
+        self._armed: dict = {}
 
     def attach(self, network) -> None:
         n_vnets = network.cfg.n_vnets
@@ -48,8 +52,28 @@ class UPPScheme(DeadlockScheme):
                 router.upp_tables = ChipletCircuitTable(n_vnets, self.stats)
 
     def post_cycle(self, network, cycle: int) -> None:
-        for router in self._popup_units:
+        if network.cfg.full_sweep:
+            for router in self._popup_units:
+                router.upp.tick(router, cycle)
+            return
+        # Active mode: tick only units that could do something — those of
+        # routers that evaluated this cycle (fresh stall observations) plus
+        # armed units (timeout counters / in-flight attempts / queued
+        # signals, which must advance even on a sleeping router).  A unit
+        # outside both sets is provably idle, so its tick is a no-op and
+        # skipping it preserves bit-identical results with the full sweep.
+        candidates = dict(self._armed)
+        for router in network.stepped_routers:
+            if router.upp is not None:
+                candidates[router.rid] = router
+        armed = self._armed
+        for rid in sorted(candidates):
+            router = candidates[rid]
             router.upp.tick(router, cycle)
+            if router.upp.idle():
+                armed.pop(rid, None)
+            else:
+                armed[rid] = router
 
     def qualitative_profile(self) -> Dict[str, bool]:
         return {

@@ -7,7 +7,6 @@ same rows/series the paper reports.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 

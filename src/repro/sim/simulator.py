@@ -9,9 +9,8 @@ integration-induced deadlocks actually forming.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.metrics.stats import SimulationStats, install_stats
 from repro.noc.config import NocConfig

@@ -10,7 +10,7 @@ disconnect a layer are rejected and redrawn.
 from __future__ import annotations
 
 import random
-from typing import List, Set, Tuple
+from typing import Set, Tuple
 
 import networkx as nx
 

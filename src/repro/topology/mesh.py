@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import List, Tuple
 
 from repro.noc.flit import OPPOSITE, Port
 

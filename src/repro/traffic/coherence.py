@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.noc.flit import Packet
 from repro.noc.ni import Endpoint

@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 import random
 from collections import deque
-from typing import Callable, List, Optional
+from typing import List
 
 from repro.noc.ni import Endpoint
 
@@ -102,24 +102,54 @@ class SyntheticEndpoint(Endpoint):
         self.enabled = True
         self._backlog: deque = deque()
         self.generated = 0
+        #: cycle of the next Bernoulli success (geometric skip-ahead).
+        self._fire_cycle = -1
+
+    def _arm(self, base: int) -> None:
+        """Draw per-cycle Bernoulli trials forward until the next success.
+
+        The RNG is private to this endpoint and the original model drew
+        exactly one ``random()`` per cycle, so consuming the failure run
+        up front yields a bit-identical stream and fire schedule while
+        letting the NI sleep until :attr:`_fire_cycle`.
+        """
+        rng_random = self.rng.random
+        rate = self.packet_rate
+        cycle = base
+        while rng_random() >= rate:
+            cycle += 1
+        self._fire_cycle = cycle
 
     def step(self, cycle: int) -> None:
         """Bernoulli generation plus backlog flush into the NI."""
-        if self.enabled and self.rng.random() < self.packet_rate:
-            dst_index = self.pattern_fn(self.index, len(self.nodes), self.rng)
-            if dst_index != self.index:
-                if self.rng.random() < self.data_fraction:
-                    size, vnet = self.data_size, DATA_VNET
-                else:
-                    size, vnet = self.control_size, CONTROL_VNET
-                self._backlog.append((self.nodes[dst_index], vnet, size, cycle))
-                self.generated += 1
+        if self.enabled and self.packet_rate > 0.0:
+            if self._fire_cycle < cycle:
+                self._arm(cycle)
+            if self._fire_cycle == cycle:
+                dst_index = self.pattern_fn(self.index, len(self.nodes), self.rng)
+                if dst_index != self.index:
+                    if self.rng.random() < self.data_fraction:
+                        size, vnet = self.data_size, DATA_VNET
+                    else:
+                        size, vnet = self.control_size, CONTROL_VNET
+                    self._backlog.append((self.nodes[dst_index], vnet, size, cycle))
+                    self.generated += 1
+                self._arm(cycle + 1)
         while self._backlog:
             dst, vnet, size, created = self._backlog[0]
             packet = self.ni.send_message(dst, vnet, size, created)
             if packet is None:
                 break
             self._backlog.popleft()
+
+    def next_event(self, cycle: int):
+        """The pre-drawn fire cycle: between fires this endpoint is pure
+        state, so its NI may sleep until then (a disabled or zero-rate
+        injector falls back to per-cycle polling — ``enabled`` may be
+        flipped externally at any time)."""
+        if not self.enabled or self.packet_rate <= 0.0:
+            return None
+        return self._fire_cycle if self._fire_cycle > cycle else None
 
     @property
     def backlog_flits(self) -> int:

@@ -1,0 +1,79 @@
+"""Active-set scheduler vs legacy full sweep: bit-identical results.
+
+The event-driven core (PR "active-set scheduler") must be behaviourally
+unobservable: for every protection scheme, a run with
+``NocConfig.full_sweep=True`` — the exhaustive per-cycle evaluation kept
+as the reference semantics — produces exactly the same
+:func:`repro.metrics.stats.result_fingerprint` (summary metrics, scheme
+counters and the deadlock outcome) as the default active-set run.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.metrics.stats import result_fingerprint
+from repro.noc.config import NocConfig
+from repro.sim.experiment import make_scheme
+from repro.sim.presets import large_topology, table2_config, table2_upp_config
+from repro.sim.simulator import Simulation
+from repro.topology.chiplet import baseline_system
+from repro.traffic.adversarial import install_adversarial_traffic, witness_flows
+from repro.traffic.synthetic import install_synthetic_traffic
+
+SCHEMES = ("upp", "composable", "remote_control", "none")
+
+
+def _uniform_fingerprint(scheme_name: str, full_sweep: bool, rate: float):
+    cfg = dataclasses.replace(table2_config(), full_sweep=full_sweep)
+    upp_cfg = table2_upp_config() if scheme_name == "upp" else None
+    sim = Simulation(large_topology(), cfg, make_scheme(scheme_name, upp_cfg))
+    install_synthetic_traffic(sim.network, "uniform_random", rate)
+    result = sim.run(200, 1000, allow_deadlock=(scheme_name == "none"))
+    return result_fingerprint(result)
+
+
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_uniform_random_identical(self, scheme):
+        active = _uniform_fingerprint(scheme, full_sweep=False, rate=0.04)
+        sweep = _uniform_fingerprint(scheme, full_sweep=True, rate=0.04)
+        assert active == sweep
+        assert active["summary"]["packets"] > 0
+
+    def test_upp_recovery_identical(self):
+        """The deadlock-recovery path (detection timers, popups, signal
+        traffic) must also be scheduler-invariant."""
+
+        def run(full_sweep):
+            cfg = NocConfig(vcs_per_vnet=1, full_sweep=full_sweep)
+            sim = Simulation(
+                baseline_system(), cfg, make_scheme("upp", table2_upp_config()),
+                watchdog_window=2500,
+            )
+            install_adversarial_traffic(sim.network, witness_flows(sim.network))
+            return result_fingerprint(sim.run(warmup=0, measure=4000))
+
+        active, sweep = run(False), run(True)
+        assert active == sweep
+        assert active["scheme_stats"]["upward_packets"] > 0
+
+    def test_unprotected_deadlock_outcome_identical(self):
+        """An unprotected run that deadlocks must deadlock at the same
+        cycle with the same final state in both modes."""
+
+        def run(full_sweep):
+            cfg = NocConfig(vcs_per_vnet=1, full_sweep=full_sweep)
+            sim = Simulation(
+                baseline_system(), cfg, make_scheme("none"),
+                watchdog_window=500,
+            )
+            install_adversarial_traffic(sim.network, witness_flows(sim.network))
+            return result_fingerprint(
+                sim.run(warmup=0, measure=6000, allow_deadlock=True)
+            )
+
+        active, sweep = run(False), run(True)
+        assert active == sweep
+        assert active["deadlocked"]
+        assert active["deadlock_cycle"] == sweep["deadlock_cycle"]

@@ -7,10 +7,8 @@ tests and by `make examples`.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 

@@ -1,6 +1,5 @@
 """Behavioural tests for the remote-control baseline's datapath."""
 
-import pytest
 
 from repro.noc.config import NocConfig
 from repro.noc.flit import Port

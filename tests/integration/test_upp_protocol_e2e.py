@@ -5,11 +5,9 @@ through router pipelines, reservations really gate NI ejection, and popup
 flits really bypass buffers.
 """
 
-import pytest
 
 from repro.core.config import UPPConfig
 from repro.noc.config import NocConfig
-from repro.noc.flit import Port
 from repro.noc.network import Network
 from repro.schemes.upp import UPPScheme
 from repro.sim.simulator import Simulation

@@ -1,7 +1,6 @@
 """Property tests on the UPP protocol state machines: random signal
 sequences must never corrupt table invariants."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,6 @@
 """Property tests for routing: termination, layer discipline, binding
 consistency and reservation-table hygiene."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,6 @@
 """Property tests at the whole-simulation level: conservation, liveness
 and determinism across randomly drawn small scenarios."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,8 +1,6 @@
 """Tests for the benchmark harness scaling knobs."""
 
-import importlib
 
-import pytest
 
 from benchmarks import common
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core.circuit import ChipletCircuitTable, CircuitState
-from repro.core.popup import UPPStats
+from repro.core.circuit import CircuitState
 from repro.core.protocol import make_req, make_stop
 from repro.noc.config import NocConfig
 from repro.noc.flit import FlitKind, Packet, Port, SignalFlit

@@ -1,6 +1,5 @@
 """Unit tests for UPP deadlock detection (Sec. V-A)."""
 
-import pytest
 
 from repro.core.detection import UPPDetector
 from repro.noc.config import NocConfig

@@ -33,6 +33,11 @@ class TestLink:
         link = Link(3, 4, Port.NORTH)
         assert link.dst_port == Port.SOUTH
 
+    def test_dst_port_constructor_override(self):
+        # asymmetric vertical wiring (UP2/DOWN2) needs an explicit dst_port
+        link = Link(3, 4, Port.DOWN2, dst_port=Port.UP2)
+        assert link.dst_port == Port.UP2
+
     def test_credit_path(self):
         link = Link(0, 1, Port.WEST)
         link.send_credit(Credit(0, True), cycle=4)

@@ -1,6 +1,5 @@
 """Tests specific to multi-VC (4 VCs per VNet) configurations."""
 
-import pytest
 
 from repro.noc.config import NocConfig
 from repro.noc.flit import Port

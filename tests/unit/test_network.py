@@ -1,6 +1,5 @@
 """Unit tests for the network builder and cycle semantics."""
 
-import pytest
 
 from repro.noc.config import NocConfig
 from repro.noc.flit import Port

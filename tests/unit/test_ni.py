@@ -2,12 +2,11 @@
 
 import random
 
-import pytest
 
 from repro.noc.config import NocConfig
 from repro.noc.flit import FlitKind, Packet, SignalFlit
 from repro.noc.network import Network
-from repro.noc.ni import Endpoint, NetworkInterface
+from repro.noc.ni import NetworkInterface
 from repro.topology.chiplet import baseline_system
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the interposer popup state machine (Sec. V-A..V-C)."""
 
-import pytest
 
 from repro.core.config import UPPConfig
 from repro.core.popup import InterposerPopupUnit, PopupPhase, UPPStats

@@ -1,12 +1,9 @@
 """Unit tests for router pipeline timing and wormhole behaviour, observed
 through a minimal live network."""
 
-import pytest
 
 from repro.noc.config import NocConfig
-from repro.noc.flit import Port
 from repro.noc.network import Network
-from repro.schemes.upp import UPPScheme
 from repro.topology.chiplet import baseline_system
 
 

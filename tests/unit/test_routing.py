@@ -5,11 +5,10 @@ import random
 import pytest
 
 from repro.noc.config import NocConfig
-from repro.noc.flit import OPPOSITE, Port
+from repro.noc.flit import Port
 from repro.noc.network import Network
 from repro.routing.base import XYTurnModel
 from repro.routing.binding import binding_load, compute_binding
-from repro.routing.table import TableRouting
 from repro.routing.updown import build_updown_routing, spanning_tree_depths
 from repro.routing.xy import XYLocalRouting
 from repro.topology.chiplet import baseline_system

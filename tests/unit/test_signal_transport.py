@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.protocol import make_req, make_stop
 from repro.noc.config import NocConfig
-from repro.noc.flit import FlitKind, Port, SignalFlit
+from repro.noc.flit import Port
 from repro.noc.network import Network
 from repro.schemes.upp import UPPScheme
 from repro.topology.chiplet import baseline_system
