@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-figs bench-full examples lint clean
+.PHONY: install test check bench bench-figs bench-full examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -12,6 +12,11 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/unit tests/property
+
+# static deadlock-freedom certification + repo-specific AST lint
+check:
+	PYTHONPATH=src $(PYTHON) -m repro check --preset all --faults 2
+	$(PYTHON) tools/repro_lint.py src
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --out -

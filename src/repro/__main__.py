@@ -7,6 +7,7 @@ Quick access to the library's main experiments without writing a script:
 * ``workload``  — a Fig. 8-style coherence run across all three schemes
 * ``deadlock``  — provoke a certified deadlock and recover it with UPP
 * ``area``      — the Fig. 14 area-overhead table
+* ``check``     — static deadlock-freedom certification of a preset
 """
 
 from __future__ import annotations
@@ -146,6 +147,13 @@ def cmd_bench(args) -> int:
     return bench_main(argv)
 
 
+def cmd_check(args) -> int:
+    """Statically certify a preset under each scheme (see docs/analysis.md)."""
+    from repro.analysis.cli import run_check
+
+    return run_check(args)
+
+
 def cmd_area(args) -> int:
     """Print the Fig. 14 area-overhead table."""
     from repro.metrics.area import baseline_router_area, figure14_table
@@ -196,6 +204,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("area", help="Fig. 14 area overhead table")
     p.set_defaults(fn=cmd_area)
+
+    p = sub.add_parser(
+        "check", help="static deadlock-freedom certification (CDG analysis)"
+    )
+    from repro.analysis.cli import PRESETS
+
+    p.add_argument(
+        "--preset", choices=tuple(PRESETS) + ("all",), default="baseline"
+    )
+    p.add_argument(
+        "--scheme",
+        choices=("upp", "composable", "remote_control", "none", "all"),
+        default="all",
+    )
+    p.add_argument("--faults", type=int, default=0,
+                   help="re-certify after N runtime link-pair failures")
+    p.add_argument("--seed", type=int, default=2022)
+    p.add_argument("--witnesses", type=int, default=0,
+                   help="print up to N witness cycles / route defects")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("bench", help="core wall-clock perf harness (BENCH_core.json)")
     p.add_argument("--smoke", action="store_true")

@@ -1,0 +1,45 @@
+"""Static and runtime correctness tooling.
+
+* :mod:`repro.analysis.certifier` — static deadlock-freedom certification
+  (CDG construction, cycle classification per the paper's Sec. IV theorem,
+  routing-function totality, fault re-certification);
+* :mod:`repro.analysis.sanitizer` — runtime invariant sanitizer (credit /
+  flit conservation, VC-leak detection at drain, UPP protocol legality),
+  enabled with ``NocConfig.sanitize``;
+* :mod:`repro.analysis.cli` — the ``python -m repro check`` entry point.
+"""
+
+from repro.analysis.certifier import (
+    EXPECT_ACYCLIC,
+    EXPECT_UPWARD_CYCLES,
+    VERDICT_ACYCLIC,
+    VERDICT_NON_UPWARD,
+    VERDICT_UNSOUND,
+    VERDICT_UPWARD_ONLY,
+    Certificate,
+    RouteViolation,
+    TotalityReport,
+    certify,
+    certify_network,
+    check_routing_totality,
+    recertify_after_faults,
+)
+from repro.analysis.sanitizer import InvariantViolation, Sanitizer
+
+__all__ = [
+    "EXPECT_ACYCLIC",
+    "EXPECT_UPWARD_CYCLES",
+    "VERDICT_ACYCLIC",
+    "VERDICT_NON_UPWARD",
+    "VERDICT_UNSOUND",
+    "VERDICT_UPWARD_ONLY",
+    "Certificate",
+    "InvariantViolation",
+    "RouteViolation",
+    "Sanitizer",
+    "TotalityReport",
+    "certify",
+    "certify_network",
+    "check_routing_totality",
+    "recertify_after_faults",
+]

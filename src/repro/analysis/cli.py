@@ -1,0 +1,138 @@
+"""The ``python -m repro check`` command.
+
+Certifies a preset (topology x Table II configuration) under each
+deadlock-handling scheme:
+
+* **composable** must produce an *acyclic* restricted CDG (its deadlock
+  avoidance is global, Sec. III-C);
+* **upp**, **remote_control** and **none** share the unrestricted Sec. V-D
+  routing, whose CDG is cyclic — every cycle must cross an upward vertical
+  channel (the precondition of the paper's Sec. IV theorem);
+* every scheme's routing function must be *total* (terminating, in-port
+  consistent, no channel reuse).
+
+With ``--faults N`` the certifier additionally replays a fault event:
+N mesh link pairs fail (layer connectivity preserved), the live network is
+reconfigured via ``Network.reconfigure_routing``, and the rebuilt routing
+is certified again — the static guarantee must survive runtime
+reconfiguration.  Composable routing cannot reconfigure around faults *by
+design* (it rejects faulty topologies); the check verifies that refusal
+instead of certifying.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.certifier import certify, certify_network
+from repro.noc.network import Network
+from repro.sim.experiment import make_scheme
+from repro.sim.presets import table2_config, table2_upp_config
+from repro.topology.chiplet import baseline_system, large_system
+from repro.topology.faults import inject_faults
+
+#: preset name -> (topology factory, VCs per VNet).  The paper evaluates
+#: both systems with 1 and 4 VCs per VNet (Table II).
+PRESETS = {
+    "baseline": (baseline_system, 1),
+    "baseline-4vc": (baseline_system, 4),
+    "large": (large_system, 1),
+    "large-4vc": (large_system, 4),
+}
+
+SCHEMES = ("composable", "upp", "remote_control", "none")
+
+
+def _print_witness(cert, limit: int) -> None:
+    for cycle in cert.witness_cycles[:limit]:
+        hops = " -> ".join(f"({rid},{port.name})" for rid, port in cycle)
+        print(f"      cycle: {hops}")
+    if cert.non_upward_witness is not None:
+        hops = " -> ".join(
+            f"({rid},{port.name})" for rid, port in cert.non_upward_witness
+        )
+        print(f"      NON-UPWARD cycle: {hops}")
+    for violation in cert.totality.violations[:limit]:
+        print(f"      route defect: {violation}")
+
+
+def check_preset(
+    preset: str,
+    schemes=SCHEMES,
+    faults: int = 0,
+    seed: int = 2022,
+    witnesses: int = 0,
+) -> bool:
+    """Certify one preset under each scheme; returns True when every
+    certificate matches its scheme's expectation."""
+    factory, vcs = PRESETS[preset]
+    cfg = table2_config(vcs)
+    all_ok = True
+    print(f"preset '{preset}': {factory().n_routers} routers, {vcs} VC(s)/VNet")
+    for name in schemes:
+        scheme = make_scheme(name, upp_cfg=table2_upp_config())
+        cert = certify(factory(), cfg, scheme)
+        all_ok &= cert.ok
+        print(f"  {cert.summary()}")
+        if witnesses and (cert.cyclic or not cert.totality.ok):
+            _print_witness(cert, witnesses)
+        if faults:
+            all_ok &= _check_after_faults(
+                factory, cfg, name, faults, seed, witnesses
+            )
+    return all_ok
+
+
+def _check_after_faults(
+    factory, cfg, name: str, faults: int, seed: int, witnesses: int
+) -> bool:
+    """Replay a runtime fault event and re-certify the rebuilt routing."""
+    if name == "composable":
+        # composable routing trades fault tolerance for avoidance: it
+        # refuses faulty topologies outright (Sec. III-C), which *is* the
+        # certified behaviour — verify the refusal.
+        topo = factory()
+        inject_faults(topo, faults, random.Random(seed))
+        scheme = make_scheme(name)
+        try:
+            scheme.build_routing(topo, cfg, random.Random(cfg.seed))
+        except ValueError:
+            print(
+                f"  {name}: +{faults} fault(s) -> rejects faulty topology "
+                f"by design -> OK"
+            )
+            return True
+        print(
+            f"  {name}: +{faults} fault(s) -> accepted a faulty topology "
+            f"it cannot certify -> FAIL"
+        )
+        return False
+    topo = factory()
+    scheme = make_scheme(name, upp_cfg=table2_upp_config())
+    network = Network(topo, cfg, scheme)
+    before = set(topo.faulty)
+    inject_faults(topo, faults, random.Random(seed))
+    new_pairs = topo.faulty - before
+    network.reconfigure_routing(new_pairs)
+    cert = certify_network(network)
+    print(f"  {cert.summary().replace(':', f' +{faults} fault(s):', 1)}")
+    if witnesses and (cert.cyclic or not cert.totality.ok):
+        _print_witness(cert, witnesses)
+    return cert.ok
+
+
+def run_check(args) -> int:
+    """Entry point for the ``check`` subcommand (returns the exit code)."""
+    presets = list(PRESETS) if args.preset == "all" else [args.preset]
+    schemes = SCHEMES if args.scheme == "all" else (args.scheme,)
+    ok = True
+    for preset in presets:
+        ok &= check_preset(
+            preset,
+            schemes=schemes,
+            faults=args.faults,
+            seed=args.seed,
+            witnesses=args.witnesses,
+        )
+    print("certification: " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1

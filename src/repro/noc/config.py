@@ -2,7 +2,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
+
+
+def _sanitize_default() -> bool:
+    """Opt-in default for the invariant sanitizer.
+
+    Reads ``REPRO_SANITIZE`` so an existing test/bench suite can be run
+    under the sanitizer without touching every configuration site
+    (``REPRO_SANITIZE=1 pytest ...``).
+    """
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
 
 
 @dataclass
@@ -44,6 +55,15 @@ class NocConfig:
     #: results are bit-identical either way; the sweep exists so the
     #: determinism regression tests can prove it.
     full_sweep: bool = False
+    #: opt-in runtime invariant sanitizer (:mod:`repro.analysis.sanitizer`):
+    #: conservation + protocol-legality checks wired into the core.  The
+    #: sanitizer is read-only, so enabling it cannot change results.
+    #: Defaults to the ``REPRO_SANITIZE`` environment variable.
+    sanitize: bool = field(default_factory=_sanitize_default)
+    #: cycles between the sanitizer's deep (full-sweep) checks; the cheap
+    #: O(1) counter checks run every cycle regardless.  0 disables the
+    #: periodic deep sweep (it still runs at drain and reconfiguration).
+    sanitize_interval: int = 256
 
     @property
     def n_vcs(self) -> int:
@@ -72,6 +92,8 @@ class NocConfig:
             raise ValueError("VC depth must be positive")
         if self.pipeline_stages < 1:
             raise ValueError("pipeline must have at least one stage")
+        if self.sanitize_interval < 0:
+            raise ValueError("sanitize_interval must be >= 0")
         if self.data_packet_size < 1 or self.control_packet_size < 1:
             raise ValueError("packet sizes must be positive")
         if self.flow_control == "vct" and self.vc_depth < self.data_packet_size:

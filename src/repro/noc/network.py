@@ -23,14 +23,16 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.noc.config import NocConfig
 from repro.noc.flit import Port
 from repro.noc.link import Link
 from repro.noc.ni import NetworkInterface
 from repro.noc.router import Router, RouterKind
-from repro.topology.chiplet import SystemTopology
+
+if TYPE_CHECKING:  # noc is the substrate: it must not import the system
+    from repro.topology.chiplet import SystemTopology  # layers above it
 
 
 class Network:
@@ -107,6 +109,14 @@ class Network:
             self.scheme.attach(self)
         for router in self.routers.values():
             router.routing = self.routing
+
+        #: opt-in invariant sanitizer (``cfg.sanitize``); read-only, so
+        #: enabling it cannot change simulation results.
+        self.sanitizer = None
+        if self.cfg.sanitize:
+            from repro.analysis.sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer(self)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -233,6 +243,8 @@ class Network:
             self._step_full()
         else:
             self._step_active()
+        if self.sanitizer is not None:
+            self.sanitizer.after_cycle()
 
     def _step_full(self) -> None:
         """Debug sweep: visit every component every cycle.  Kept so the
@@ -410,6 +422,8 @@ class Network:
         for ni in self.nis.values():
             ni._wake()
         self.scheme.on_reconfigure(self)
+        if self.sanitizer is not None:
+            self.sanitizer.on_reconfigure()
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -471,4 +485,6 @@ class Network:
             "incremental occupancy counter out of sync at drain end: "
             f"tracked={self.tracked_occupancy} actual={self.occupancy()}"
         )
+        if drained and self.sanitizer is not None:
+            self.sanitizer.check_drained()
         return drained

@@ -29,10 +29,44 @@ def _link_map(topo: SystemTopology) -> Dict[Tuple[int, Port], Tuple[int, Port]]:
     return result
 
 
-def route_channels(network, src: int, dst: int) -> List[Tuple[int, Port]]:
-    """The (router, out_port) channel sequence of the route src -> dst."""
+class RoutingLoopError(RuntimeError):
+    """A route walk did not terminate: the routing function either loops
+    (hop bound exceeded) or steers into a port with no healthy link.
+
+    Carries the partial channel trace so a misconfigured routing function
+    produces an actionable diagnostic instead of an infinite loop.
+    """
+
+    def __init__(self, src: int, dst: int, reason: str, channels):
+        self.src = src
+        self.dst = dst
+        self.reason = reason
+        self.channels = list(channels)
+        tail = ", ".join(
+            f"({rid}, {port.name})" for rid, port in self.channels[-8:]
+        )
+        if len(self.channels) > 8:
+            tail = "..., " + tail
+        super().__init__(
+            f"route {src} -> {dst} {reason} after {len(self.channels)} "
+            f"channel(s); trace tail: [{tail}]"
+        )
+
+
+def route_channels(
+    network, src: int, dst: int, max_hops: int = None
+) -> List[Tuple[int, Port]]:
+    """The (router, out_port) channel sequence of the route src -> dst.
+
+    ``max_hops`` bounds the walk (default ``4 * n_routers``, generous for
+    any minimal or up*/down* route); a route exceeding it, or one steered
+    into a port with no healthy outgoing link, raises
+    :class:`RoutingLoopError` with the partial trace.
+    """
     topo = network.topo
     links = _link_map(topo)
+    if max_hops is None:
+        max_hops = 4 * topo.n_routers
     channels = []
     rid, in_port = src, Port.LOCAL
     while rid != dst:
@@ -41,9 +75,19 @@ def route_channels(network, src: int, dst: int) -> List[Tuple[int, Port]]:
         if out == Port.LOCAL:
             break
         channels.append((rid, out))
-        rid, in_port = links[(rid, out)]
-        if len(channels) > 4 * topo.n_routers:
-            raise RuntimeError(f"routing loop on {src} -> {dst}")
+        hop = links.get((rid, out))
+        if hop is None:
+            raise RoutingLoopError(
+                src, dst,
+                f"entered {out.name} at router {rid}, which has no healthy link",
+                channels,
+            )
+        rid, in_port = hop
+        if len(channels) > max_hops:
+            raise RoutingLoopError(
+                src, dst, f"exceeded the {max_hops}-hop bound (routing loop)",
+                channels,
+            )
     return channels
 
 

@@ -55,6 +55,13 @@ class DeadlockScheme:
     """Base class; concrete schemes override the hooks they need."""
 
     name = "base"
+    #: what the static certifier may assume about this scheme's CDG
+    #: (:mod:`repro.analysis.certifier`): the default unrestricted Sec. V-D
+    #: routing yields a cyclic CDG whose every cycle crosses an upward
+    #: vertical channel — the Sec. IV theorem that UPP's recovery (and the
+    #: other recovery/isolation baselines) relies on.  Avoidance schemes
+    #: that restrict routing override this with ``"acyclic"``.
+    cdg_expectation = "upward_cycles"
 
     def build_routing(
         self, topo: SystemTopology, cfg: NocConfig, rng: random.Random

@@ -215,6 +215,9 @@ class ComposableRoutingScheme(DeadlockScheme):
     """Deadlock avoidance via boundary-router turn restrictions."""
 
     name = "composable"
+    #: the turn restrictions make the *full-system* CDG acyclic — the
+    #: static certifier holds this scheme to that stronger promise.
+    cdg_expectation = "acyclic"
 
     def __init__(self) -> None:
         self.designs: Dict[int, ChipletDesign] = {}

@@ -38,6 +38,8 @@ class _PacketBuffer:
     __slots__ = ("flits", "head_cycle", "vnet", "out_port", "out_vc", "complete")
 
     def __init__(self, vnet: int) -> None:
+        #: (flit, absorb cycle) pairs — the arrival bookkeeping lives here,
+        #: not on the flit (flit fields belong to the noc/core owners).
         self.flits: deque = deque()
         self.head_cycle = -1
         self.vnet = vnet
@@ -96,10 +98,9 @@ class BoundaryBufferUnit:
                     f"boundary buffer overflow at router {self.router.rid}: "
                     f"a packet arrived without a reservation"
                 )
-        flit.arrival_cycle = cycle
         if flit.is_header:
             buf.head_cycle = cycle
-        buf.flits.append(flit)
+        buf.flits.append((flit, cycle))
         if flit.is_tail:
             buf.complete = True
             del self._absorbing[pid]
@@ -114,7 +115,7 @@ class BoundaryBufferUnit:
         for pid, buf in self._packets.items():
             if not buf.flits:
                 continue
-            flit = buf.flits[0]
+            flit, absorbed_cycle = buf.flits[0]
             if flit.is_header:
                 ready = buf.head_cycle + router.cfg.sa_eligibility_delay + self.extra_delay
                 if cycle < ready:
@@ -133,7 +134,7 @@ class BoundaryBufferUnit:
             else:
                 if buf.out_port in router._used_out:
                     continue
-                if flit.arrival_cycle >= cycle:
+                if absorbed_cycle >= cycle:
                     continue
             oport = router.out_ports[buf.out_port]
             if oport.credits[buf.out_vc] <= 0:

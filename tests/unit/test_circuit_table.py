@@ -88,6 +88,10 @@ class TestWormholeTagging:
             vc.active_pid = packet.pid
         for flit in flits[start : start + 3]:
             vc.push(flit, 0)
+        # planted flits bypass NI.send_message, so register them with the
+        # network's incremental occupancy counter by hand (the eject path
+        # will retire the full packet)
+        net.note_flits_created(3)
         return router, table, vc, packet
 
     def test_req_tags_vc_holding_head(self, net):
@@ -161,6 +165,7 @@ class TestWormholeTagging:
         for flit in packet.make_flits()[3:]:
             net.run(5)
             vc.push(flit, net.cycle)
+            net.note_flits_created(1)
             router.wake()
         net.run(40)
         assert net.nis[21].popup_ejections == 1

@@ -24,6 +24,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["workload", "not_a_benchmark"])
 
+    def test_check_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.preset == "baseline"
+        assert args.scheme == "all"
+        assert args.faults == 0
+        assert args.seed == 2022
+        assert args.witnesses == 0
+
+    def test_check_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--preset", "tiny"])
+
+    def test_check_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--scheme", "magic"])
+
 
 class TestCommands:
     def test_info(self, capsys):

@@ -1,0 +1,141 @@
+"""Unit tests for the repo-specific AST lint (tools/repro_lint.py).
+
+The tool lives outside the package tree, so it is loaded via importlib.
+"""
+
+import ast
+import importlib.util
+import os
+import textwrap
+
+import pytest
+
+TOOL = os.path.join(os.path.dirname(__file__), "..", "..", "tools", "repro_lint.py")
+
+
+@pytest.fixture(scope="module")
+def lint_mod():
+    spec = importlib.util.spec_from_file_location("repro_lint", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def parse(source):
+    return ast.parse(textwrap.dedent(source))
+
+
+class TestDeterminism:
+    def test_global_rng_flagged(self, lint_mod):
+        tree = parse("""
+            import random
+            x = random.random()
+            random.shuffle(items)
+        """)
+        found = lint_mod.check_determinism("f.py", tree)
+        assert len(found) == 2
+        assert all(v.rule == "R001" for v in found)
+
+    def test_unseeded_random_instance_flagged(self, lint_mod):
+        tree = parse("rng = random.Random()")
+        assert len(lint_mod.check_determinism("f.py", tree)) == 1
+
+    def test_seeded_random_instance_allowed(self, lint_mod):
+        tree = parse("rng = random.Random(2022)\ny = rng.random()")
+        assert lint_mod.check_determinism("f.py", tree) == []
+
+    def test_wall_clock_flagged(self, lint_mod):
+        tree = parse("import time\nt0 = time.perf_counter()\ntime.sleep(1)")
+        found = lint_mod.check_determinism("f.py", tree)
+        assert len(found) == 2
+
+    def test_scope_covers_core_only(self, lint_mod):
+        assert lint_mod._in_scope("src/repro/noc/router.py", lint_mod.R001_SCOPES)
+        assert not lint_mod._in_scope(
+            "src/repro/metrics/latency.py", lint_mod.R001_SCOPES
+        )
+
+
+class TestFlitOwnership:
+    def test_flit_write_flagged(self, lint_mod):
+        tree = parse("flit.arrival_cycle = cycle\npacket.dst = 3")
+        found = lint_mod.check_flit_ownership("f.py", tree)
+        assert len(found) == 2
+        assert all(v.rule == "R002" for v in found)
+
+    def test_statistics_fields_exempt(self, lint_mod):
+        tree = parse("flit.hops += 1\npacket.popup_count += 1")
+        assert lint_mod.check_flit_ownership("f.py", tree) == []
+
+    def test_other_receivers_allowed(self, lint_mod):
+        tree = parse("router.state = 1\nself.flit = x")
+        assert lint_mod.check_flit_ownership("f.py", tree) == []
+
+
+class TestImportCycles:
+    def _violations(self, lint_mod, modules):
+        files = {
+            f"src/{name.replace('.', '/')}.py": parse(source)
+            for name, source in modules.items()
+        }
+        return lint_mod.check_import_cycles(files, "src")
+
+    def test_cycle_detected(self, lint_mod):
+        found = self._violations(lint_mod, {
+            "repro.alpha.a": "from repro.beta.b import thing",
+            "repro.beta.b": "import repro.alpha.a",
+        })
+        assert len(found) == 1
+        assert found[0].rule == "R003"
+        assert "repro.alpha" in found[0].message
+
+    def test_dag_clean(self, lint_mod):
+        assert self._violations(lint_mod, {
+            "repro.alpha.a": "from repro.beta.b import thing",
+            "repro.beta.b": "import os",
+        }) == []
+
+    def test_type_checking_import_ignored(self, lint_mod):
+        assert self._violations(lint_mod, {
+            "repro.alpha.a": """
+                from typing import TYPE_CHECKING
+                if TYPE_CHECKING:
+                    from repro.beta.b import thing
+            """,
+            "repro.beta.b": "import repro.alpha.a",
+        }) == []
+
+    def test_function_local_import_sanctioned(self, lint_mod):
+        assert self._violations(lint_mod, {
+            "repro.alpha.a": """
+                def lazy():
+                    from repro.beta.b import thing
+                    return thing
+            """,
+            "repro.beta.b": "import repro.alpha.a",
+        }) == []
+
+    def test_relative_import_resolved(self, lint_mod):
+        found = self._violations(lint_mod, {
+            "repro.alpha.a": "from ..beta import b",
+            "repro.beta.b": "import repro.alpha.a",
+        })
+        assert len(found) == 1
+
+
+class TestWholeTree:
+    def test_src_tree_is_clean(self, lint_mod):
+        root = os.path.normpath(os.path.join(os.path.dirname(TOOL), "..", "src"))
+        assert lint_mod.lint([root], root) == []
+
+    def test_main_exit_codes(self, lint_mod, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_mod.main([str(clean), "--root", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+        dirty = tmp_path / "repro" / "noc"
+        dirty.mkdir(parents=True)
+        bad = dirty / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert lint_mod.main([str(bad), "--root", str(tmp_path)]) == 1
+        assert "R001" in capsys.readouterr().out

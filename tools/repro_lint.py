@@ -1,0 +1,318 @@
+#!/usr/bin/env python
+"""Repo-specific AST lint for the UPP reproduction (stdlib only).
+
+Three rules, each protecting a property the simulator's correctness
+arguments depend on:
+
+* **R001 — determinism**: no unseeded randomness or wall-clock reads in
+  the simulation core (``src/repro/core``, ``src/repro/noc``,
+  ``src/repro/sim``).  Module-level ``random.<fn>()`` calls draw from the
+  process-global RNG and ``time.<fn>()`` reads the host clock; both make
+  runs irreproducible.  ``random.Random(<seed>)`` with an explicit seed is
+  the sanctioned construction.
+* **R002 — flit ownership**: flit / packet / signal objects flow through
+  many components, but only the designated owners (``src/repro/noc``,
+  ``src/repro/core``) may mutate their fields; anywhere else a write to a
+  receiver named like a flit (``flit``, ``sig``, ``packet``, ``req``,
+  ``ack``) is flagged.  The statistics fields ``hops`` and ``popup_count``
+  are exempt (append-only counters, not protocol state).
+* **R003 — import hygiene**: no import cycles among ``repro.*``
+  sub-packages, counting module-level imports only (function-local lazy
+  imports are the sanctioned way to break a would-be cycle).
+
+Usage: ``python tools/repro_lint.py [paths...]`` (default ``src``).
+Exit code 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Dict, Iterator, List, Set, Tuple
+
+#: directories (relative to the scanned root) that the determinism rule
+#: covers: the simulation core, where a stray RNG/clock read breaks
+#: bit-identical reproducibility.
+R001_SCOPES = ("repro/core", "repro/noc", "repro/sim")
+
+#: random-module helpers that draw from the process-global RNG.
+R001_RANDOM_FUNCS = {
+    "random", "randint", "randrange", "choice", "choices", "sample",
+    "shuffle", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "gammavariate", "triangular", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "lognormvariate", "getrandbits",
+    "seed", "random_bytes", "binomialvariate",
+}
+
+#: time-module wall-clock / sleep functions (any use is a violation in
+#: the core: simulated time is the only clock).
+R001_TIME_FUNCS = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns", "sleep",
+    "localtime", "gmtime",
+}
+
+#: packages allowed to mutate flit/packet/signal fields (the owners).
+R002_OWNER_SCOPES = ("repro/noc", "repro/core")
+
+#: receiver names treated as flit-like objects.
+R002_RECEIVERS = {"flit", "sig", "signal", "packet", "req", "ack", "credit"}
+
+#: statistics fields any component may bump (not protocol state).
+R002_EXEMPT_FIELDS = {"hops", "popup_count"}
+
+
+class Violation:
+    """One lint finding."""
+
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _python_files(paths: List[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def _in_scope(path: str, scopes: Tuple[str, ...]) -> bool:
+    norm = path.replace(os.sep, "/")
+    return any(f"/{scope}/" in f"/{norm}" or norm.startswith(scope) for scope in scopes)
+
+
+# --------------------------------------------------------------------- #
+# R001: determinism
+
+
+def check_determinism(path: str, tree: ast.Module) -> List[Violation]:
+    """Flag unseeded RNG draws and wall-clock reads."""
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name)):
+            continue
+        module, attr = func.value.id, func.attr
+        if module == "random":
+            if attr == "Random":
+                if not node.args and not node.keywords:
+                    found.append(Violation(
+                        path, node.lineno, "R001",
+                        "random.Random() without an explicit seed draws "
+                        "entropy from the OS; pass a seed",
+                    ))
+            elif attr in R001_RANDOM_FUNCS:
+                found.append(Violation(
+                    path, node.lineno, "R001",
+                    f"random.{attr}() uses the process-global RNG; use a "
+                    f"seeded random.Random instance",
+                ))
+        elif module == "time" and attr in R001_TIME_FUNCS:
+            found.append(Violation(
+                path, node.lineno, "R001",
+                f"time.{attr}() reads the host clock; the simulation core "
+                f"must only observe simulated cycles",
+            ))
+    return found
+
+
+# --------------------------------------------------------------------- #
+# R002: flit-field ownership
+
+
+def check_flit_ownership(path: str, tree: ast.Module) -> List[Violation]:
+    """Flag writes to flit-like receivers outside the owner packages."""
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                violation = _flit_write(path, target, node.lineno)
+                if violation is not None:
+                    found.append(violation)
+    return found
+
+
+def _flit_write(path: str, target: ast.expr, line: int):
+    if not (isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name)):
+        return None
+    receiver, attr = target.value.id, target.attr
+    if receiver not in R002_RECEIVERS or attr in R002_EXEMPT_FIELDS:
+        return None
+    return Violation(
+        path, line, "R002",
+        f"mutation of {receiver}.{attr} outside the flit owners "
+        f"({', '.join(R002_OWNER_SCOPES)}); store derived state in the "
+        f"component, not on the flit",
+    )
+
+
+# --------------------------------------------------------------------- #
+# R003: import cycles
+
+
+def _module_of(path: str, root: str) -> str:
+    """Dotted module name of a file relative to the scan root."""
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    rel = rel[:-3]  # .py
+    if rel.endswith("/__init__"):
+        rel = rel[: -len("/__init__")]
+    return rel.replace("/", ".")
+
+
+def _package_of(module: str) -> str:
+    """Sub-package granularity: repro.noc.flit -> repro.noc."""
+    parts = module.split(".")
+    return ".".join(parts[:2]) if len(parts) >= 2 else parts[0]
+
+
+def _module_level_imports(tree: ast.Module, module: str) -> Iterator[Tuple[int, str]]:
+    """(line, imported module) for module-level imports only.
+
+    Descends into top-level ``try`` blocks (optional-dependency guards)
+    but not into functions/classes — a function-local import is the
+    sanctioned lazy form — and skips ``if TYPE_CHECKING:`` bodies, which
+    never execute.
+    """
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Try):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+            for handler in node.handlers:
+                stack.extend(handler.body)
+        elif isinstance(node, ast.If):
+            test = node.test
+            name = (
+                test.attr if isinstance(test, ast.Attribute)
+                else test.id if isinstance(test, ast.Name) else ""
+            )
+            if name != "TYPE_CHECKING":
+                stack.extend(node.body)
+                stack.extend(node.orelse)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # relative import: resolve against this module's package
+                parts = module.split(".")[: -node.level]
+                target = ".".join(parts + ([node.module] if node.module else []))
+                yield node.lineno, target
+            elif node.module:
+                yield node.lineno, node.module
+
+
+def check_import_cycles(files: Dict[str, ast.Module], root: str) -> List[Violation]:
+    """Detect cycles in the repro.* sub-package import graph."""
+    edges: Dict[str, Set[str]] = {}
+    sites: Dict[Tuple[str, str], Tuple[str, int]] = {}
+    for path, tree in files.items():
+        module = _module_of(path, root)
+        if not module.startswith("repro"):
+            continue
+        src_pkg = _package_of(module)
+        for line, imported in _module_level_imports(tree, module):
+            if not imported.startswith("repro"):
+                continue
+            dst_pkg = _package_of(imported)
+            if dst_pkg == src_pkg or dst_pkg == "repro" or src_pkg == "repro":
+                continue
+            edges.setdefault(src_pkg, set()).add(dst_pkg)
+            sites.setdefault((src_pkg, dst_pkg), (path, line))
+
+    found = []
+    for cycle in _find_cycles(edges):
+        pairs = list(zip(cycle, cycle[1:] + cycle[:1]))
+        path, line = sites[pairs[0]]
+        chain = " -> ".join(cycle + [cycle[0]])
+        found.append(Violation(
+            path, line, "R003",
+            f"import cycle across sub-packages: {chain}; break it with a "
+            f"function-local import",
+        ))
+    return found
+
+
+def _find_cycles(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Elementary cycles at package granularity (DFS; graphs are tiny)."""
+    cycles = []
+    seen_keys = set()
+    nodes = sorted(edges)
+
+    def dfs(start: str, node: str, trail: List[str]) -> None:
+        for neighbor in sorted(edges.get(node, ())):
+            if neighbor == start:
+                cycle = trail[:]
+                key = frozenset(cycle)
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    cycles.append(cycle)
+            elif neighbor not in trail and neighbor > start:
+                dfs(start, neighbor, trail + [neighbor])
+
+    for node in nodes:
+        dfs(node, node, [node])
+    return cycles
+
+
+# --------------------------------------------------------------------- #
+
+
+def lint(paths: List[str], root: str) -> List[Violation]:
+    """Run every rule over ``paths``; returns all findings."""
+    trees: Dict[str, ast.Module] = {}
+    violations: List[Violation] = []
+    for path in _python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            violations.append(Violation(path, exc.lineno or 0, "E000", str(exc)))
+            continue
+        trees[path] = tree
+        if _in_scope(path, R001_SCOPES):
+            violations.extend(check_determinism(path, tree))
+        if not _in_scope(path, R002_OWNER_SCOPES):
+            violations.extend(check_flit_ownership(path, tree))
+    violations.extend(check_import_cycles(trees, root))
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--root", default="src",
+                        help="import root for module-name resolution")
+    args = parser.parse_args(argv)
+    violations = lint(args.paths, args.root)
+    for violation in sorted(violations, key=lambda v: (v.path, v.line)):
+        print(violation)
+    if violations:
+        print(f"{len(violations)} violation(s)")
+        return 1
+    print("repro_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
