@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-figs bench-full examples lint clean
+.PHONY: install test check bench bench-figs bench-full examples examples-smoke lint clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -30,6 +30,12 @@ bench-full:
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex; done
+
+# quick CI variant: the two orchestration examples at reduced scale,
+# fanned out over the experiment runner's worker processes
+examples-smoke:
+	PYTHONPATH=src REPRO_JOBS=2 $(PYTHON) examples/quickstart.py
+	PYTHONPATH=src REPRO_JOBS=2 $(PYTHON) examples/coherence_workload.py blackscholes 0.05
 
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks examples

@@ -7,12 +7,29 @@ gem5/Garnet, default measurement windows are reduced; set
 ``REPRO_BENCH_FULL=1`` to use the complete workload/pattern lists where a
 subset is the default.  Curve shapes (who wins, saturation ordering,
 crossovers) are stable at the default scale.
+
+Experiment points route through one shared :func:`bench_runner`; set
+``REPRO_JOBS`` to fan them out over worker processes and
+``REPRO_CACHE_DIR`` to replay completed points from the result cache —
+results are bit-identical either way.
 """
 
 from __future__ import annotations
 
 import os
 from typing import Dict, Iterable, Sequence
+
+_runner = None
+
+
+def bench_runner():
+    """The suite-wide experiment runner (one instance, stats accumulate)."""
+    global _runner
+    if _runner is None:
+        from repro.api import make_runner
+
+        _runner = make_runner()
+    return _runner
 
 
 def bench_scale() -> float:

@@ -12,7 +12,7 @@ from repro.sim.presets import table2_config
 from repro.topology.chiplet import baseline_system
 from repro.traffic.workloads import get_workload, workload_names
 
-from benchmarks.common import bench_scale, full_mode, print_series
+from benchmarks.common import bench_runner, bench_scale, full_mode, print_series
 
 WORKLOADS_DEFAULT = ("blackscholes", "canneal", "fft", "water_nsquared")
 
@@ -28,7 +28,10 @@ def run_counts():
         profile = get_workload(name, scale=scale)
         per_vcs = {}
         for vcs in (1, 4):
-            summary = run_workload(baseline_system, table2_config(vcs), "upp", profile)
+            summary = run_workload(
+                baseline_system, table2_config(vcs), "upp", profile,
+                runner=bench_runner(),
+            )
             per_vcs[vcs] = {
                 "upward": summary["upward_packets"],
                 "total": summary["total_packets"],

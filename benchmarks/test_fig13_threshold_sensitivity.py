@@ -13,7 +13,7 @@ from repro.noc.config import NocConfig
 from repro.sim.experiment import latency_sweep, saturation_throughput
 from repro.topology.chiplet import baseline_system
 
-from benchmarks.common import print_series, scaled
+from benchmarks.common import bench_runner, print_series, scaled
 
 THRESHOLDS = (20, 100, 1000)
 RATES = (0.02, 0.05, 0.08, 0.11)
@@ -34,6 +34,7 @@ def run_thresholds(vcs: int):
                 detection_threshold=threshold,
                 ack_timeout=max(20 * threshold, 400),
             ),
+            runner=bench_runner(),
         )
         total_upward = sum(p.upward_packets for p in points)
         results[threshold] = {

@@ -14,7 +14,7 @@ from repro.noc.config import NocConfig
 from repro.sim.experiment import latency_sweep, saturation_throughput
 from repro.topology.chiplet import baseline_system
 
-from benchmarks.common import full_mode, print_series, scaled
+from benchmarks.common import bench_runner, full_mode, print_series, scaled
 
 SCHEMES = ("composable", "remote_control", "upp")
 PATTERNS_DEFAULT = ("uniform_random", "transpose")
@@ -39,6 +39,7 @@ def run_pattern(pattern: str, vcs: int):
             rates,
             warmup=scaled(400),
             measure=scaled(2000),
+            runner=bench_runner(),
         )
     return results
 

@@ -15,7 +15,7 @@ from repro.sim.presets import table2_config
 from repro.topology.chiplet import baseline_system
 from repro.traffic.workloads import get_workload, workload_names
 
-from benchmarks.common import bench_scale, full_mode, print_series
+from benchmarks.common import bench_runner, bench_scale, full_mode, print_series
 
 WORKLOADS_DEFAULT = ("blackscholes", "canneal", "fft", "lu_cb", "radix", "water_nsquared")
 SCHEMES = ("composable", "remote_control", "upp")
@@ -31,7 +31,8 @@ def run_suite(vcs: int):
     for name in workloads():
         profile = get_workload(name, scale=scale)
         results[name] = runtime_comparison(
-            baseline_system, table2_config(vcs), profile, SCHEMES
+            baseline_system, table2_config(vcs), profile, SCHEMES,
+            runner=bench_runner(),
         )
     return results
 

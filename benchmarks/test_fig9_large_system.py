@@ -11,7 +11,7 @@ from repro.noc.config import NocConfig
 from repro.sim.experiment import latency_sweep, saturation_throughput
 from repro.topology.chiplet import large_system
 
-from benchmarks.common import print_series, scaled
+from benchmarks.common import bench_runner, print_series, scaled
 
 SCHEMES = ("composable", "remote_control", "upp")
 RATES = (0.01, 0.03, 0.05, 0.07, 0.09)
@@ -29,6 +29,7 @@ def test_fig9(benchmark, vcs):
                 RATES,
                 warmup=scaled(400),
                 measure=scaled(1600),
+                runner=bench_runner(),
             )
             for scheme in SCHEMES
         }

@@ -13,16 +13,8 @@ Run:  python examples/coherence_workload.py [workload] [scale]
 
 import sys
 
-from repro import (
-    NocConfig,
-    get_workload,
-    runtime_comparison,
-    workload_names,
-)
+from repro import api, get_workload, workload_names
 from repro.metrics.energy import network_energy
-from repro.sim.experiment import make_scheme
-from repro.sim.simulator import Simulation
-from repro.topology.chiplet import baseline_system
 from repro.traffic.coherence import install_coherence_workload, workload_finished
 
 SCHEMES = ("composable", "remote_control", "upp")
@@ -40,7 +32,8 @@ def main() -> None:
         f"locality {profile.locality}"
     )
 
-    results = runtime_comparison(baseline_system, NocConfig(vcs_per_vnet=1), profile)
+    # set REPRO_JOBS to overlap the three schemes' runs in workers.
+    results = api.run_workload("baseline", name, SCHEMES, scale=scale)
     print(f"\n{'scheme':>16} | {'runtime':>8} | {'normalized':>10} | {'avg latency':>11}")
     for scheme in SCHEMES:
         r = results[scheme]
@@ -50,7 +43,7 @@ def main() -> None:
         )
 
     # energy for the UPP run (Fig. 15 machinery)
-    sim = Simulation(baseline_system(), NocConfig(vcs_per_vnet=1), make_scheme("upp"))
+    sim = api.build_simulation("baseline", scheme="upp")
     endpoints = install_coherence_workload(sim.network, profile)
     result = sim.run(
         warmup=0,

@@ -17,7 +17,7 @@ This example makes the paper's core phenomenon tangible:
 Run:  python examples/deadlock_anatomy.py
 """
 
-from repro import NocConfig, Simulation, UPPScheme, UnprotectedScheme, baseline_system
+from repro import api
 from repro.metrics.deadlock import describe_deadlock, knot_has_upward_packet
 from repro.traffic.adversarial import install_adversarial_traffic, witness_flows
 
@@ -29,15 +29,13 @@ def freeze_injection(network) -> None:
 
 
 def main() -> None:
-    cfg = NocConfig(vcs_per_vnet=1)
-
     print("== step 1: derive the adversarial workload from the CDG ==")
-    probe = Simulation(baseline_system(), cfg, UnprotectedScheme())
+    probe = api.build_simulation("baseline", scheme="none")
     flows = witness_flows(probe.network)
     print(f"   the routing CDG is cyclic; witness flows: {flows}")
 
     print("\n== step 2: unprotected network — let the deadlock form ==")
-    sim = Simulation(baseline_system(), cfg, UnprotectedScheme(), watchdog_window=10**9)
+    sim = api.build_simulation("baseline", scheme="none", watchdog_window=10**9)
     install_adversarial_traffic(sim.network, flows)
     knot = []
     while not knot and sim.network.cycle < 10_000:
@@ -63,7 +61,7 @@ def main() -> None:
     print(f"   drain without recovery: {'succeeded' if drained else 'FAILED — deadlock is permanent'}")
 
     print("\n== step 3: same workload under UPP ==")
-    sim = Simulation(baseline_system(), cfg, UPPScheme(), watchdog_window=2500)
+    sim = api.build_simulation("baseline", scheme="upp", watchdog_window=2500)
     install_adversarial_traffic(sim.network, flows)
     result = sim.run(warmup=0, measure=10_000)
     stats = result.scheme_stats

@@ -2,36 +2,35 @@
 """Quickstart: build the paper's baseline chiplet system, protect it with
 UPP, drive it with uniform-random traffic and print the headline metrics.
 
+All orchestration goes through :mod:`repro.api` — one import gives the
+preset table, the scheme registry and a ready-to-run simulation.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    NocConfig,
-    Simulation,
-    UPPScheme,
-    baseline_system,
-    install_synthetic_traffic,
-)
+from repro import api, install_synthetic_traffic
 
 
 def main() -> None:
-    # Table II configuration: 3 VNets x 1 VC, 4-flit VCs, 3-stage routers.
-    cfg = NocConfig(vcs_per_vnet=1)
+    # The "baseline" preset is the Table II configuration (3 VNets x 1 VC,
+    # 4-flit VCs, 3-stage routers) on the Fig. 1 system: a 4x4 mesh
+    # interposer carrying four 4x4 mesh chiplets.
+    preset = api.load_preset("baseline")
+    print(f"presets available: {', '.join(api.preset_names())}")
+    print(f"schemes available: {', '.join(api.scheme_names())}")
 
-    # The Fig. 1 system: a 4x4 mesh interposer carrying four 4x4 mesh
-    # chiplets, each attached through four boundary routers.
-    topo = baseline_system()
+    # UPP: fully adaptive routing; deadlocks are detected by the per-VNet
+    # timeout counters and recovered through upward packet popup.
+    sim = api.build_simulation(preset, scheme="upp")
+    topo = sim.network.topo
     print(
         f"system: {topo.n_routers} routers "
         f"({topo.n_interposer} interposer + {len(topo.chiplet_nodes)} cores), "
         f"{len(topo.boundary_routers())} vertical links"
     )
+    print(f"config fingerprint: {preset.config.fingerprint()[:16]}")
 
-    # UPP: fully adaptive routing; deadlocks are detected by the per-VNet
-    # timeout counters and recovered through upward packet popup.
-    sim = Simulation(topo, cfg, UPPScheme())
     install_synthetic_traffic(sim.network, "uniform_random", rate=0.05)
-
     result = sim.run(warmup=1000, measure=5000)
 
     print(f"simulated {result.cycles} measured cycles")

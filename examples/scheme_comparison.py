@@ -15,10 +15,8 @@ Run:  python examples/scheme_comparison.py
 
 from collections import Counter
 
-from repro import NocConfig, latency_sweep, make_scheme, saturation_throughput
+from repro import api
 from repro.metrics.render import curve
-from repro.noc.network import Network
-from repro.topology.chiplet import baseline_system
 
 RATES = (0.01, 0.03, 0.05, 0.07, 0.09)
 SCHEMES = ("composable", "remote_control", "upp")
@@ -27,7 +25,7 @@ SCHEMES = ("composable", "remote_control", "upp")
 def show_boundary_loads() -> None:
     print("boundary-router load (chiplet 0, how many sources exit where):")
     for name in ("composable", "upp"):
-        net = Network(baseline_system(), NocConfig(), make_scheme(name))
+        net = api.build_simulation("baseline", scheme=name).network
         load = Counter(
             net.routing.exit_binding[rid] for rid in net.topo.chiplet_routers(0)
         )
@@ -41,9 +39,9 @@ def main() -> None:
     print(f"  {'rate':>6} | " + " | ".join(f"{s:>16}" for s in SCHEMES))
     sweeps = {}
     for scheme in SCHEMES:
-        sweeps[scheme] = latency_sweep(
-            baseline_system,
-            NocConfig(vcs_per_vnet=1),
+        # set REPRO_JOBS / REPRO_CACHE_DIR to parallelise / cache this.
+        sweeps[scheme] = api.run_sweep(
+            "baseline",
             scheme,
             "uniform_random",
             RATES,
@@ -61,7 +59,7 @@ def main() -> None:
 
     print("\nsaturation throughput (flits/cycle/node):")
     for scheme in SCHEMES:
-        print(f"  {scheme:>14}: {saturation_throughput(sweeps[scheme]):.4f}")
+        print(f"  {scheme:>14}: {api.saturation_throughput(sweeps[scheme]):.4f}")
 
     print("\nlatency curves:")
     for line in curve(

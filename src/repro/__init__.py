@@ -6,19 +6,23 @@ recovery framework, the composable-routing and remote-control baselines,
 synthetic and coherence traffic, and the experiment harnesses that
 regenerate every figure of the paper's evaluation.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade is the orchestration surface)::
 
-    from repro import (
-        NocConfig, UPPScheme, Simulation, baseline_system,
-        install_synthetic_traffic,
-    )
+    from repro import api
 
-    sim = Simulation(baseline_system(), NocConfig(), UPPScheme())
+    sim = api.build_simulation("baseline", scheme="upp")
+    from repro import install_synthetic_traffic
     install_synthetic_traffic(sim.network, "uniform_random", rate=0.05)
     result = sim.run(warmup=1000, measure=5000)
     print(result.summary)
+
+    # or, one call per figure-style experiment (parallel + cached):
+    points = api.run_sweep("baseline", scheme="upp",
+                           rates=(0.01, 0.03, 0.05), jobs=4)
 """
 
+from repro import api
+from repro.api import build_simulation, load_preset, make_runner
 from repro.core.config import UPPConfig
 from repro.noc.config import NocConfig
 from repro.noc.flit import FlitKind, Packet, Port
@@ -54,6 +58,10 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_WORKLOADS",
     "ComposableRoutingScheme",
+    "api",
+    "build_simulation",
+    "load_preset",
+    "make_runner",
     "DeadlockError",
     "FlitKind",
     "Network",

@@ -8,36 +8,50 @@ Quick access to the library's main experiments without writing a script:
 * ``deadlock``  — provoke a certified deadlock and recover it with UPP
 * ``area``      — the Fig. 14 area-overhead table
 * ``check``     — static deadlock-freedom certification of a preset
+* ``cache``     — inspect / garbage-collect the experiment result cache
+
+``sweep`` and ``workload`` orchestrate through :mod:`repro.api`: pass
+``--jobs N`` to fan points out over worker processes and ``--cache-dir``
+(or ``REPRO_CACHE_DIR``) to replay completed points from the
+content-addressed result cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from repro.core.config import UPPConfig
-from repro.noc.config import NocConfig
-from repro.sim.experiment import (
-    latency_sweep,
-    runtime_comparison,
-    saturation_throughput,
-)
-from repro.sim.presets import table2_config
-from repro.topology.chiplet import baseline_system, large_system
+from repro import api
+from repro.schemes.registry import scheme_names
 from repro.traffic.synthetic import PATTERNS
-from repro.traffic.workloads import get_workload, workload_names
+from repro.traffic.workloads import workload_names
 
 
-def _topo_factory(name: str):
-    return {"baseline": baseline_system, "large": large_system}[name]
+def _preset_name(topology: str, vcs: int) -> str:
+    return topology if vcs == 1 else f"{topology}-{vcs}vc"
+
+
+def _progress(done: int, total: int, label: str, source: str) -> None:
+    print(f"  [{done}/{total}] {label} ({source})", file=sys.stderr)
+
+
+def _print_runner_stats(runner, preset) -> None:
+    stats = runner.stats
+    print(
+        f"points: {stats.submitted} submitted, {stats.executed} executed, "
+        f"{stats.cached} from cache "
+        f"(cfg {preset.config.fingerprint()[:12]})"
+    )
 
 
 def cmd_info(args) -> int:
     """Print the topology summary and the full Table I."""
     from repro.schemes.base import PROFILE_COLUMNS
     from repro.schemes.taxonomy import table1_rows
+    from repro.topology.registry import get_topology
 
-    topo = _topo_factory(args.topology)()
+    topo = get_topology(args.topology)()
     print(f"topology '{args.topology}':")
     print(f"  routers        : {topo.n_routers}")
     print(f"  interposer     : {topo.n_interposer}")
@@ -57,15 +71,20 @@ def cmd_info(args) -> int:
 def cmd_sweep(args) -> int:
     """Run a latency-vs-injection-rate sweep and print the curve."""
     rates = [float(r) for r in args.rates.split(",")]
-    points = latency_sweep(
-        _topo_factory(args.topology),
-        table2_config(args.vcs),
+    preset = api.load_preset(
+        _preset_name(args.topology, args.vcs), threshold=args.threshold
+    )
+    runner = api.make_runner(
+        args.jobs, args.cache_dir, progress=_progress if args.progress else None
+    )
+    points = api.run_sweep(
+        preset,
         args.scheme,
         args.pattern,
         rates,
         warmup=args.warmup,
         measure=args.measure,
-        upp_cfg=UPPConfig(detection_threshold=args.threshold),
+        runner=runner,
     )
     print(f"{'rate':>8} | {'latency':>10} | {'throughput':>10} | {'upward':>7}")
     for p in points:
@@ -73,7 +92,8 @@ def cmd_sweep(args) -> int:
             f"{p.rate:>8} | {p.latency:>8.1f} cy | {p.throughput:>10.4f} "
             f"| {p.upward_packets:>7}"
         )
-    print(f"saturation throughput: {saturation_throughput(points):.4f}")
+    print(f"saturation throughput: {api.saturation_throughput(points):.4f}")
+    _print_runner_stats(runner, preset)
     if len(points) > 1:
         from repro.metrics.render import curve
 
@@ -85,27 +105,40 @@ def cmd_sweep(args) -> int:
             y_label="latency",
         ):
             print(line)
+    if args.expect_cached and runner.stats.executed:
+        print(
+            f"--expect-cached: {runner.stats.executed} point(s) had to be "
+            f"simulated (expected all from cache)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
 def cmd_workload(args) -> int:
     """Run one coherence workload under all three schemes."""
-    profile = get_workload(args.name, scale=args.scale)
-    results = runtime_comparison(
-        _topo_factory(args.topology), table2_config(args.vcs), profile
+    preset = api.load_preset(_preset_name(args.topology, args.vcs))
+    runner = api.make_runner(
+        args.jobs, args.cache_dir, progress=_progress if args.progress else None
+    )
+    results = api.run_workload(
+        preset, args.name, scale=args.scale, runner=runner
     )
     print(f"{'scheme':>16} | {'runtime':>8} | {'normalized':>10}")
     for scheme, r in results.items():
         print(f"{scheme:>16} | {int(r['runtime']):>8} | {r['normalized_runtime']:>10.4f}")
+    _print_runner_stats(runner, preset)
     return 0
 
 
 def cmd_deadlock(args) -> int:
     """Provoke a certified deadlock, then recover it with UPP."""
     from repro.metrics.deadlock import describe_deadlock, knot_has_upward_packet
+    from repro.noc.config import NocConfig
     from repro.schemes.none import UnprotectedScheme
     from repro.schemes.upp import UPPScheme
     from repro.sim.simulator import Simulation
+    from repro.topology.chiplet import baseline_system
     from repro.traffic.adversarial import install_adversarial_traffic, witness_flows
 
     cfg = NocConfig(vcs_per_vnet=1)
@@ -157,6 +190,7 @@ def cmd_check(args) -> int:
 def cmd_area(args) -> int:
     """Print the Fig. 14 area-overhead table."""
     from repro.metrics.area import baseline_router_area, figure14_table
+    from repro.sim.presets import table2_config
 
     table = figure14_table(table2_config(1), table2_config(4))
     for vcs in (1, 4):
@@ -168,6 +202,44 @@ def cmd_area(args) -> int:
     return 0
 
 
+def _resolve_cache_dir(args) -> str:
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        raise SystemExit(
+            "repro cache: no cache directory "
+            "(pass --cache-dir or set REPRO_CACHE_DIR)"
+        )
+    return os.path.expanduser(cache_dir)
+
+
+def cmd_cache(args) -> int:
+    """Inspect (``ls``) or garbage-collect (``gc``) the result cache."""
+    from repro.exp.cache import ResultCache
+
+    cache = ResultCache(_resolve_cache_dir(args))
+    if args.action == "ls":
+        rows = cache.entries()
+        for row in rows:
+            print(
+                f"{row['key'][:16]}  {row['kind']:>11}  {row['bytes']:>7} B  "
+                f"{row['label']}"
+            )
+        print(f"{len(rows)} entr{'y' if len(rows) == 1 else 'ies'} in {cache.root}")
+        return 0
+    removed = cache.gc(max_age_days=args.max_age_days, drop_all=args.all)
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {cache.root}")
+    return 0
+
+
+def _add_runner_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: REPRO_JOBS or serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: REPRO_CACHE_DIR)")
+    p.add_argument("--progress", action="store_true",
+                   help="print per-point progress to stderr")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -176,27 +248,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from repro.topology.registry import topology_names
+
+    topologies = tuple(topology_names())
+
     p = sub.add_parser("info", help="system and Table I summary")
-    p.add_argument("--topology", choices=("baseline", "large"), default="baseline")
+    p.add_argument("--topology", choices=topologies, default="baseline")
     p.set_defaults(fn=cmd_info)
 
     p = sub.add_parser("sweep", help="latency vs injection rate")
-    p.add_argument("--scheme", choices=("upp", "composable", "remote_control", "none"),
-                   default="upp")
+    p.add_argument("--scheme", choices=tuple(scheme_names()), default="upp")
     p.add_argument("--pattern", choices=tuple(PATTERNS), default="uniform_random")
     p.add_argument("--rates", default="0.01,0.03,0.05,0.07,0.09")
     p.add_argument("--vcs", type=int, choices=(1, 4), default=1)
     p.add_argument("--warmup", type=int, default=500)
     p.add_argument("--measure", type=int, default=2500)
     p.add_argument("--threshold", type=int, default=20)
-    p.add_argument("--topology", choices=("baseline", "large"), default="baseline")
+    p.add_argument("--topology", choices=topologies, default="baseline")
+    _add_runner_options(p)
+    p.add_argument("--expect-cached", action="store_true",
+                   help="fail unless every point came from the cache")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("workload", help="coherence workload across schemes")
     p.add_argument("name", choices=tuple(workload_names()))
     p.add_argument("--scale", type=float, default=0.25)
     p.add_argument("--vcs", type=int, choices=(1, 4), default=1)
-    p.add_argument("--topology", choices=("baseline", "large"), default="baseline")
+    p.add_argument("--topology", choices=topologies, default="baseline")
+    _add_runner_options(p)
     p.set_defaults(fn=cmd_workload)
 
     p = sub.add_parser("deadlock", help="provoke a deadlock, recover with UPP")
@@ -208,14 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "check", help="static deadlock-freedom certification (CDG analysis)"
     )
-    from repro.analysis.cli import PRESETS
-
     p.add_argument(
-        "--preset", choices=tuple(PRESETS) + ("all",), default="baseline"
+        "--preset", choices=tuple(api.preset_names()) + ("all",), default="baseline"
     )
     p.add_argument(
         "--scheme",
-        choices=("upp", "composable", "remote_control", "none", "all"),
+        choices=tuple(scheme_names()) + ("all",),
         default="all",
     )
     p.add_argument("--faults", type=int, default=0,
@@ -231,6 +308,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="BENCH_core.json")
     p.add_argument("--baseline-rev", default=None)
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("cache", help="experiment result cache: ls / gc")
+    p.add_argument("action", choices=("ls", "gc"))
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: REPRO_CACHE_DIR)")
+    p.add_argument("--max-age-days", type=float, default=None,
+                   help="gc: only remove entries older than this")
+    p.add_argument("--all", action="store_true",
+                   help="gc: remove every entry")
+    p.set_defaults(fn=cmd_cache)
 
     return parser
 

@@ -26,21 +26,20 @@ import random
 
 from repro.analysis.certifier import certify, certify_network
 from repro.noc.network import Network
-from repro.sim.experiment import make_scheme
-from repro.sim.presets import table2_config, table2_upp_config
-from repro.topology.chiplet import baseline_system, large_system
+from repro.schemes.registry import make_scheme, scheme_names
+from repro.sim.presets import SYSTEM_PRESETS, table2_config, table2_upp_config
 from repro.topology.faults import inject_faults
+from repro.topology.registry import get_topology
 
-#: preset name -> (topology factory, VCs per VNet).  The paper evaluates
-#: both systems with 1 and 4 VCs per VNet (Table II).
+#: preset name -> (topology factory, VCs per VNet), derived from the
+#: canonical Table II preset table (:data:`repro.sim.presets.SYSTEM_PRESETS`).
 PRESETS = {
-    "baseline": (baseline_system, 1),
-    "baseline-4vc": (baseline_system, 4),
-    "large": (large_system, 1),
-    "large-4vc": (large_system, 4),
+    name: (get_topology(topo_name), vcs)
+    for name, (topo_name, vcs) in SYSTEM_PRESETS.items()
 }
 
-SCHEMES = ("composable", "upp", "remote_control", "none")
+#: every registered scheme is certified (the registry is the matrix).
+SCHEMES = scheme_names()
 
 
 def _print_witness(cert, limit: int) -> None:

@@ -26,6 +26,8 @@ never draws from the RNG, so enabling it cannot change results.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.popup import PopupPhase
 from repro.noc.flit import Port
 from repro.noc.link import Link
@@ -47,7 +49,7 @@ class Sanitizer:
     ``Network.reconfigure_routing``.
     """
 
-    def __init__(self, network, interval: int = None):
+    def __init__(self, network, interval: Optional[int] = None):
         self.network = network
         self.interval = (
             interval if interval is not None else network.cfg.sanitize_interval

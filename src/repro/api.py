@@ -1,0 +1,230 @@
+"""repro.api — the unified experiment surface.
+
+One import gives scripts everything they need to orchestrate
+experiments, without reaching into six deep modules:
+
+* :func:`load_preset` — a named Table II system preset (topology +
+  network config + UPP config) as one immutable object;
+* :func:`build_simulation` — preset + scheme name -> a ready
+  :class:`~repro.sim.simulator.Simulation`;
+* :func:`run_sweep` — a latency-vs-injection-rate sweep, optionally
+  fanned out over worker processes and served from the result cache;
+* :func:`run_workload` — closed-loop coherence runs across one or many
+  schemes, normalised to the first;
+* :func:`make_runner` — an explicit :class:`~repro.exp.runner.ExperimentRunner`
+  when a script wants to share one runner (and its stats) across calls.
+
+Scheme and topology names resolve through the registries
+(:mod:`repro.schemes.registry`, :mod:`repro.topology.registry`), so the
+facade automatically covers anything registered later.
+
+Example::
+
+    from repro.api import run_sweep
+
+    points = run_sweep("baseline", scheme="upp", pattern="uniform_random",
+                       rates=(0.01, 0.03, 0.05), jobs=4,
+                       cache_dir="~/.cache/repro-exp")
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.config import UPPConfig
+from repro.exp.cache import ResultCache
+from repro.exp.runner import ExperimentRunner, ProgressFn, default_runner
+from repro.noc.config import NocConfig
+from repro.schemes.registry import make_scheme, scheme_names
+from repro.sim import experiment as _experiment
+from repro.sim.experiment import SweepPoint, saturation_throughput, sweep_to_rows
+from repro.sim.presets import SYSTEM_PRESETS, table2_config, table2_upp_config
+from repro.sim.simulator import Simulation
+from repro.topology.registry import get_topology, topology_names
+from repro.traffic.workloads import get_workload
+
+__all__ = [
+    "ExperimentRunner",
+    "Preset",
+    "ResultCache",
+    "SweepPoint",
+    "build_simulation",
+    "load_preset",
+    "make_runner",
+    "make_scheme",
+    "preset_names",
+    "run_sweep",
+    "run_workload",
+    "saturation_throughput",
+    "scheme_names",
+    "sweep_to_rows",
+    "topology_names",
+]
+
+
+@dataclass(frozen=True)
+class Preset:
+    """One named system configuration: topology + Table II configs."""
+
+    name: str
+    #: registered topology name (resolve with :meth:`topology_factory`).
+    topology: str
+    config: NocConfig
+    upp_config: UPPConfig
+
+    def topology_factory(self):
+        """The registered zero-argument topology factory."""
+        return get_topology(self.topology)
+
+
+def preset_names() -> Sequence[str]:
+    """Every system preset name (`baseline`, `baseline-4vc`, ...)."""
+    return tuple(SYSTEM_PRESETS)
+
+
+def load_preset(
+    name: str = "baseline",
+    *,
+    seed: int = 2022,
+    threshold: Optional[int] = None,
+) -> Preset:
+    """A named Table II preset; ``threshold`` overrides UPP detection."""
+    try:
+        topo_name, vcs = SYSTEM_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; presets: {', '.join(preset_names())}"
+        ) from None
+    return Preset(
+        name=name,
+        topology=topo_name,
+        config=table2_config(vcs, seed=seed),
+        upp_config=table2_upp_config(threshold),
+    )
+
+
+def _coerce_preset(preset: Union[str, Preset]) -> Preset:
+    return preset if isinstance(preset, Preset) else load_preset(preset)
+
+
+def build_simulation(
+    preset: Union[str, Preset] = "baseline",
+    scheme: str = "upp",
+    *,
+    watchdog_window: int = 3000,
+) -> Simulation:
+    """A ready-to-run simulation of ``preset`` under ``scheme``."""
+    resolved = _coerce_preset(preset)
+    return Simulation(
+        resolved.topology_factory()(),
+        resolved.config,
+        make_scheme(scheme, resolved.upp_config),
+        watchdog_window=watchdog_window,
+    )
+
+
+def make_runner(
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    *,
+    retries: int = 2,
+    progress: Optional[ProgressFn] = None,
+) -> ExperimentRunner:
+    """An experiment runner; None arguments defer to ``REPRO_JOBS`` /
+    ``REPRO_CACHE_DIR`` (both defaulting to serial, uncached)."""
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    cache = ResultCache(os.path.expanduser(os.fspath(cache_dir))) if cache_dir else None
+    return ExperimentRunner(jobs=jobs, cache=cache, retries=retries, progress=progress)
+
+
+def _resolve_runner(runner, jobs, cache_dir, progress) -> ExperimentRunner:
+    if runner is not None:
+        if jobs is not None or cache_dir is not None:
+            raise ValueError("pass either runner= or jobs=/cache_dir=, not both")
+        return runner
+    if jobs is None and cache_dir is None and progress is None:
+        return default_runner()
+    return make_runner(jobs, cache_dir, progress=progress)
+
+
+def run_sweep(
+    preset: Union[str, Preset] = "baseline",
+    scheme: str = "upp",
+    pattern: str = "uniform_random",
+    rates: Sequence[float] = (0.01, 0.03, 0.05, 0.07, 0.09),
+    *,
+    warmup: int = 2000,
+    measure: int = 8000,
+    saturation_latency: float = 200.0,
+    runner: Optional[ExperimentRunner] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[SweepPoint]:
+    """Latency vs injection rate for one scheme/pattern on a preset.
+
+    ``jobs``/``cache_dir`` build a throwaway runner; pass ``runner=`` to
+    share one (and read its ``stats``) across calls.
+    """
+    resolved = _coerce_preset(preset)
+    return _experiment.latency_sweep(
+        resolved.topology,
+        resolved.config,
+        scheme,
+        pattern,
+        rates,
+        warmup=warmup,
+        measure=measure,
+        upp_cfg=resolved.upp_config,
+        saturation_latency=saturation_latency,
+        runner=_resolve_runner(runner, jobs, cache_dir, progress),
+    )
+
+
+def run_workload(
+    preset: Union[str, Preset] = "baseline",
+    workload: str = "canneal",
+    schemes: Union[str, Sequence[str]] = ("composable", "remote_control", "upp"),
+    *,
+    scale: float = 0.25,
+    max_cycles: int = 400_000,
+    runner: Optional[ExperimentRunner] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Closed-loop coherence runs, keyed by scheme name.
+
+    With two or more schemes each summary gains ``normalized_runtime``
+    relative to the first scheme (the paper normalises to composable).
+    A single scheme name returns ``{scheme: summary}`` without the
+    normalisation.
+    """
+    resolved = _coerce_preset(preset)
+    profile = get_workload(workload, scale=scale)
+    run = _resolve_runner(runner, jobs, cache_dir, progress)
+    if isinstance(schemes, str):
+        summary = _experiment.run_workload(
+            resolved.topology,
+            resolved.config,
+            schemes,
+            profile,
+            upp_cfg=resolved.upp_config,
+            max_cycles=max_cycles,
+            runner=run,
+        )
+        return {schemes: summary}
+    return _experiment.runtime_comparison(
+        resolved.topology,
+        resolved.config,
+        profile,
+        schemes=tuple(schemes),
+        upp_cfg=resolved.upp_config,
+        max_cycles=max_cycles,
+        runner=run,
+    )

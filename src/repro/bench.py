@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -164,6 +165,69 @@ def _time_baseline_rev(rev: str, repeats: int, smoke: bool) -> Dict[str, object]
     return {"rev": rev, "seconds": float(secs), "packets": int(packets)}
 
 
+def _bench_parallel_sweep(smoke: bool, jobs: int = 4) -> Dict[str, object]:
+    """Time one latency sweep serially, fanned out over ``jobs`` workers,
+    and replayed warm from the result cache.
+
+    All three series must be bit-identical, and the warm replay must
+    execute **zero** simulations.  Rates stay below saturation so the
+    serial path cannot stop early and all runs cover every point.
+    """
+    from repro import api
+    from repro.exp import ExperimentRunner, ResultCache
+    from repro.sim.experiment import sweep_to_rows
+
+    rates = (0.01, 0.02, 0.03) if smoke else (0.01, 0.02, 0.03, 0.04, 0.05)
+    warmup, measure = (200, 600) if smoke else (1000, 4000)
+    preset = api.load_preset("baseline")
+
+    def timed(runner: ExperimentRunner):
+        t0 = time.perf_counter()
+        points = api.run_sweep(
+            preset, "upp", "uniform_random", rates,
+            warmup=warmup, measure=measure, runner=runner,
+        )
+        return time.perf_counter() - t0, points
+
+    serial_s, serial_pts = timed(ExperimentRunner(jobs=1))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        parallel_s, parallel_pts = timed(
+            ExperimentRunner(jobs=jobs, cache=ResultCache(tmp))
+        )
+        warm = ExperimentRunner(jobs=jobs, cache=ResultCache(tmp))
+        warm_s, warm_pts = timed(warm)
+        warm_stats = warm.stats
+    serial_rows = sweep_to_rows(serial_pts)
+    if serial_rows != sweep_to_rows(parallel_pts):
+        raise AssertionError("parallel sweep diverged from serial")
+    if serial_rows != sweep_to_rows(warm_pts):
+        raise AssertionError("warm-cache sweep diverged from serial")
+    if warm_stats.executed != 0:
+        raise AssertionError(
+            f"warm cache replay executed {warm_stats.executed} simulation(s); "
+            f"expected 0"
+        )
+    return {
+        "description": (
+            f"{len(rates)}-point UPP latency sweep on the baseline preset: "
+            f"serial vs --jobs {jobs} (cold cache) vs warm cache replay"
+        ),
+        "rates": list(rates),
+        "jobs": jobs,
+        "host_cpus": os.cpu_count(),
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "warm_cache_seconds": round(warm_s, 4),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "warm_cache_speedup": round(serial_s / warm_s, 3),
+        "warm_executed": warm_stats.executed,
+        "warm_cached": warm_stats.cached,
+        "identical_results": True,
+        "cfg_fingerprint": preset.config.fingerprint(),
+        "upp_cfg_fingerprint": preset.upp_config.fingerprint(),
+    }
+
+
 def _best_of(runner: Callable, full_sweep: bool, smoke: bool, repeats: int):
     best, result = float("inf"), None
     for _ in range(repeats):
@@ -225,8 +289,22 @@ def run_core_bench(
         "platform": platform.platform(),
         "smoke": smoke,
         "repeats": repeats,
+        "config_fingerprints": {
+            "table2_1vc": table2_config(1).fingerprint(),
+            "table2_4vc": table2_config(4).fingerprint(),
+            "upp": table2_upp_config().fingerprint(),
+        },
         "configs": rows,
     }
+    par = _bench_parallel_sweep(smoke)
+    report["sweep_parallel"] = par
+    log(
+        f"{'sweep_parallel':>20}: serial {par['serial_seconds']:7.3f}s  "
+        f"jobs={par['jobs']} {par['parallel_seconds']:7.3f}s "
+        f"({par['parallel_speedup']:.2f}x)  warm cache "
+        f"{par['warm_cache_seconds']:7.3f}s ({par['warm_cache_speedup']:.2f}x, "
+        f"0 simulations)"
+    )
     if baseline_rev:
         base = _time_baseline_rev(baseline_rev, repeats, smoke)
         low = next(r for r in rows if r["name"] == LOW_LOAD_CONFIG)

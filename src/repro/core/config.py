@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.fingerprint import stable_fingerprint
 
 
 @dataclass
@@ -38,6 +42,22 @@ class UPPConfig:
     #: independence from the routing algorithm; the ablation bench
     #: quantifies the cost.
     coordinate_per_chiplet: bool = False
+
+    #: fingerprint namespace; bump when a field changes meaning.
+    FINGERPRINT_TAG = "repro.UPPConfig/v1"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical plain-dict form (JSON-able, one key per field)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "UPPConfig":
+        """Rebuild a validated config from :meth:`to_dict` output."""
+        return cls(**dict(payload))
+
+    def fingerprint(self) -> str:
+        """Stable content hash; the runner's cache-key ingredient."""
+        return stable_fingerprint(self.FINGERPRINT_TAG, self.to_dict())
 
     def validate(self) -> None:
         """Reject incoherent parameter combinations."""

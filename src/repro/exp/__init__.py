@@ -1,0 +1,32 @@
+"""repro.exp — parallel experiment orchestration with result caching.
+
+The experiment layer's scaling story (the sim core's is
+:mod:`repro.noc.network`): sweep points are embarrassingly parallel, so
+:class:`ExperimentRunner` fans them out over worker processes and a
+content-addressed :class:`ResultCache` makes re-runs free.  See
+``docs/api.md`` for the full contract (cache-key semantics, resumability,
+crash retry).
+"""
+
+from repro.exp.cache import CODE_VERSION, ResultCache, cache_key, git_revision
+from repro.exp.runner import (
+    ExperimentRunner,
+    RunnerStats,
+    WorkerCrashError,
+    default_runner,
+)
+from repro.exp.tasks import execute_spec, sweep_point_spec, workload_spec
+
+__all__ = [
+    "CODE_VERSION",
+    "ExperimentRunner",
+    "ResultCache",
+    "RunnerStats",
+    "WorkerCrashError",
+    "cache_key",
+    "default_runner",
+    "execute_spec",
+    "git_revision",
+    "sweep_point_spec",
+    "workload_spec",
+]

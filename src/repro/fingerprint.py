@@ -1,0 +1,36 @@
+"""Stable content fingerprints for configuration objects.
+
+The experiment runner's result cache (:mod:`repro.exp.cache`) is
+content-addressed: a cached result is reused only when every input that
+could change the simulation outcome hashes to the same key.  That needs a
+*canonical* serial form — the same logical configuration must produce the
+same bytes in every process, on every platform, across dict orderings —
+which is what this module provides.
+
+``stable_fingerprint(tag, payload)`` hashes a JSON-able payload under a
+versioned tag.  The tag namespaces the hash (a ``NocConfig`` and a
+``UPPConfig`` that happened to share field values must not collide) and
+carries a schema version so a semantic change to a config class can
+invalidate old fingerprints by bumping its tag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+
+
+def canonical_json(payload: Mapping) -> str:
+    """Deterministic JSON form: sorted keys, no whitespace.
+
+    Floats round-trip exactly (``json`` emits shortest-repr), so two
+    configurations are bytewise equal iff they are value equal.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def stable_fingerprint(tag: str, payload: Mapping) -> str:
+    """SHA-256 hex digest of ``payload`` under the namespace ``tag``."""
+    blob = tag + "\n" + canonical_json(payload)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -8,12 +8,12 @@ No plotting dependencies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 _BLOCKS = " .:-=+*#%@"
 
 
-def sparkline(values: Sequence[float], width: int = None) -> str:
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
     """One-line intensity strip for a series (empty input -> '')."""
     if not values:
         return ""

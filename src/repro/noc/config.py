@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.fingerprint import stable_fingerprint
 
 
 def _sanitize_default() -> bool:
@@ -79,6 +83,23 @@ class NocConfig:
         following cycle, giving the paper's 4-cycle per-hop latency.
         """
         return self.pipeline_stages - 1
+
+    #: fingerprint namespace; bump when a field changes meaning so stale
+    #: cache entries keyed on the old semantics can never be reused.
+    FINGERPRINT_TAG = "repro.NocConfig/v1"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical plain-dict form (JSON-able, one key per field)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "NocConfig":
+        """Rebuild a validated config from :meth:`to_dict` output."""
+        return cls(**dict(payload))
+
+    def fingerprint(self) -> str:
+        """Stable content hash; the runner's cache-key ingredient."""
+        return stable_fingerprint(self.FINGERPRINT_TAG, self.to_dict())
 
     def validate(self) -> None:
         """Reject configurations the model cannot represent."""

@@ -12,7 +12,7 @@ Used by the test suite to verify the paper's framing end to end:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -54,7 +54,7 @@ class RoutingLoopError(RuntimeError):
 
 
 def route_channels(
-    network, src: int, dst: int, max_hops: int = None
+    network, src: int, dst: int, max_hops: Optional[int] = None
 ) -> List[Tuple[int, Port]]:
     """The (router, out_port) channel sequence of the route src -> dst.
 
@@ -91,7 +91,7 @@ def route_channels(
     return channels
 
 
-def build_system_cdg(network, nodes: List[int] = None) -> nx.DiGraph:
+def build_system_cdg(network, nodes: Optional[List[int]] = None) -> nx.DiGraph:
     """CDG over every routed (src, dst) pair among ``nodes`` (default: all
     NIs, chiplet and interposer alike)."""
     topo = network.topo
@@ -110,7 +110,7 @@ def build_system_cdg(network, nodes: List[int] = None) -> nx.DiGraph:
     return graph
 
 
-def is_deadlock_free(network, nodes: List[int] = None) -> bool:
+def is_deadlock_free(network, nodes: Optional[List[int]] = None) -> bool:
     """True iff the routed channel-dependency graph is acyclic."""
     return nx.is_directed_acyclic_graph(build_system_cdg(network, nodes))
 

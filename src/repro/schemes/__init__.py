@@ -1,8 +1,19 @@
-"""Pluggable deadlock-freedom schemes (Table I rows)."""
+"""Pluggable deadlock-freedom schemes (Table I rows).
+
+Schemes are looked up by name through :mod:`repro.schemes.registry`; the
+CLI choices, taxonomy rows and certifier matrix all derive from it.
+"""
 
 from repro.schemes.base import DeadlockScheme
 from repro.schemes.composable import ComposableRoutingScheme
 from repro.schemes.none import UnprotectedScheme
+from repro.schemes.registry import (
+    SchemeEntry,
+    make_scheme,
+    register_scheme,
+    scheme_names,
+    table1_scheme_names,
+)
 from repro.schemes.remote_control import RemoteControlScheme
 from repro.schemes.upp import UPPScheme
 
@@ -10,6 +21,11 @@ __all__ = [
     "ComposableRoutingScheme",
     "DeadlockScheme",
     "RemoteControlScheme",
+    "SchemeEntry",
     "UPPScheme",
     "UnprotectedScheme",
+    "make_scheme",
+    "register_scheme",
+    "scheme_names",
+    "table1_scheme_names",
 ]

@@ -112,16 +112,19 @@ CONVENTIONAL_FAMILIES: List[ConventionalFamily] = [
 
 
 def table1_rows() -> List[dict]:
-    """Every Table I row: five conventional families plus the three
-    modular schemes, in the paper's order."""
-    from repro.schemes.composable import ComposableRoutingScheme
-    from repro.schemes.remote_control import RemoteControlScheme
-    from repro.schemes.upp import UPPScheme
+    """Every Table I row: five conventional families plus the modular
+    schemes, in the paper's order.
+
+    The modular rows derive from :mod:`repro.schemes.registry`, so a
+    newly registered scheme (with ``table1_row=True``) appears here — and
+    in ``python -m repro info`` — without touching this module.
+    """
+    from repro.schemes.registry import make_scheme, table1_scheme_names
 
     rows = []
     for family in CONVENTIONAL_FAMILIES:
         rows.append({"name": family.name, "group": "conventional", **family.profile})
-    for scheme in (ComposableRoutingScheme(), RemoteControlScheme(), UPPScheme()):
+    for scheme in (make_scheme(name) for name in table1_scheme_names()):
         profile = scheme.qualitative_profile()
         rows.append(
             {

@@ -10,7 +10,7 @@ Sec. V-D algorithm — full path diversity, no injection control.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.circuit import ChipletCircuitTable
 from repro.core.config import UPPConfig
@@ -25,7 +25,7 @@ class UPPScheme(DeadlockScheme):
 
     name = "upp"
 
-    def __init__(self, upp_cfg: UPPConfig = None):
+    def __init__(self, upp_cfg: Optional[UPPConfig] = None):
         self.cfg = upp_cfg if upp_cfg is not None else UPPConfig()
         self.stats = UPPStats()
         self._popup_units = []

@@ -3,39 +3,54 @@
 Each function builds fresh networks per data point (schemes keep no state
 across runs) and returns plain dicts/lists so benchmarks can print the
 same rows/series the paper reports.
+
+Points are submitted through :mod:`repro.exp` — pass ``runner=`` (or set
+``REPRO_JOBS`` / ``REPRO_CACHE_DIR``) to fan a sweep out over worker
+processes and/or replay completed points from the content-addressed
+result cache.  Results are bit-identical at any job count: every point
+is an independent, freshly seeded simulation.  Ad-hoc topology callables
+that are not in :mod:`repro.topology.registry` cannot be shipped to
+workers and fall back to in-process execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.config import UPPConfig
 from repro.noc.config import NocConfig
-from repro.schemes.composable import ComposableRoutingScheme
-from repro.schemes.remote_control import RemoteControlScheme
-from repro.schemes.upp import UPPScheme
-from repro.sim.simulator import Simulation
+from repro.schemes.registry import make_scheme
 from repro.topology.chiplet import SystemTopology
-from repro.traffic.coherence import install_coherence_workload, workload_finished
-from repro.traffic.synthetic import install_synthetic_traffic
+from repro.topology.registry import get_topology, topology_name_of
 from repro.traffic.workloads import WorkloadProfile
 
+#: a topology argument: a registered name or a zero-argument factory.
+TopologyLike = Union[str, Callable[[], SystemTopology]]
 
-def make_scheme(name: str, upp_cfg: Optional[UPPConfig] = None):
-    """Scheme factory by name ('composable' | 'remote_control' | 'upp' |
-    'none')."""
-    if name == "composable":
-        return ComposableRoutingScheme()
-    if name == "remote_control":
-        return RemoteControlScheme()
-    if name == "upp":
-        return UPPScheme(upp_cfg)
-    if name == "none":
-        from repro.schemes.none import UnprotectedScheme
+__all__ = [
+    "SweepPoint",
+    "latency_sweep",
+    "make_scheme",
+    "run_workload",
+    "runtime_comparison",
+    "replicate",
+    "saturation_throughput",
+    "sweep_to_rows",
+]
 
-        return UnprotectedScheme()
-    raise ValueError(f"unknown scheme {name!r}")
+
+def _resolve_topology(topo_factory: TopologyLike):
+    """(name, factory) for a topology argument; name None if unregistered."""
+    if isinstance(topo_factory, str):
+        return topo_factory, get_topology(topo_factory)
+    return topology_name_of(topo_factory), topo_factory
+
+
+def _runner_or_default(runner):
+    from repro.exp import default_runner
+
+    return runner if runner is not None else default_runner()
 
 
 @dataclass
@@ -52,7 +67,7 @@ class SweepPoint:
 
 
 def latency_sweep(
-    topo_factory: Callable[[], SystemTopology],
+    topo_factory: TopologyLike,
     cfg: NocConfig,
     scheme_name: str,
     pattern: str,
@@ -61,36 +76,67 @@ def latency_sweep(
     measure: int = 8000,
     upp_cfg: Optional[UPPConfig] = None,
     saturation_latency: float = 200.0,
+    runner=None,
 ) -> List[SweepPoint]:
     """Latency vs injection rate (Figs. 7, 9, 11, 13).
 
     The sweep stops early once average latency explodes past
     ``saturation_latency`` — beyond saturation the queueing latency is
-    unbounded and later points carry no information.
+    unbounded and later points carry no information.  (A parallel runner
+    executes every point and truncates the series at the same rate, so
+    the returned points are identical either way.)
     """
-    points: List[SweepPoint] = []
-    for rate in rates:
-        sim_topo = topo_factory()
-        scheme = make_scheme(scheme_name, upp_cfg)
-        sim = Simulation(sim_topo, cfg, scheme)
-        install_synthetic_traffic(sim.network, pattern, rate)
-        result = sim.run(warmup, measure, allow_deadlock=(scheme_name == "none"))
-        summary = result.summary
-        upward = result.scheme_stats.get("upward_packets", 0)
-        points.append(
-            SweepPoint(
-                rate=rate,
-                latency=summary["avg_total_latency"],
-                network_latency=summary["avg_network_latency"],
-                queueing_latency=summary["avg_queueing_latency"],
-                throughput=summary["throughput"],
-                deadlocked=result.deadlocked,
-                upward_packets=upward,
-            )
+    from repro.exp.tasks import sweep_point_spec
+
+    topo_name, factory = _resolve_topology(topo_factory)
+    allow_deadlock = scheme_name == "none"
+
+    def saturated(row: Dict[str, object]) -> bool:
+        return row["latency"] > saturation_latency or row["deadlocked"]
+
+    if topo_name is None:
+        rows = _sweep_inline(
+            factory, cfg, scheme_name, pattern, rates, warmup, measure,
+            upp_cfg, allow_deadlock, saturated,
         )
-        if summary["avg_total_latency"] > saturation_latency or result.deadlocked:
+    else:
+        specs = [
+            sweep_point_spec(
+                topo_name, cfg, scheme_name, pattern, rate, warmup, measure,
+                upp_cfg=upp_cfg, allow_deadlock=allow_deadlock,
+            )
+            for rate in rates
+        ]
+        rows = _runner_or_default(runner).run(specs, stop_after=saturated)
+    return [SweepPoint(**row) for row in rows]
+
+
+def _sweep_inline(
+    factory, cfg, scheme_name, pattern, rates, warmup, measure,
+    upp_cfg, allow_deadlock, saturated,
+) -> List[Dict[str, object]]:
+    """In-process sweep for unregistered (ad-hoc) topology factories."""
+    from repro.sim.simulator import Simulation
+    from repro.traffic.synthetic import install_synthetic_traffic
+
+    rows: List[Dict[str, object]] = []
+    for rate in rates:
+        sim = Simulation(factory(), cfg, make_scheme(scheme_name, upp_cfg))
+        install_synthetic_traffic(sim.network, pattern, rate)
+        result = sim.run(warmup, measure, allow_deadlock=allow_deadlock)
+        summary = result.summary
+        rows.append({
+            "rate": rate,
+            "latency": summary["avg_total_latency"],
+            "network_latency": summary["avg_network_latency"],
+            "queueing_latency": summary["avg_queueing_latency"],
+            "throughput": summary["throughput"],
+            "deadlocked": result.deadlocked,
+            "upward_packets": result.scheme_stats.get("upward_packets", 0),
+        })
+        if saturated(rows[-1]):
             break
-    return points
+    return rows
 
 
 def saturation_throughput(points: List[SweepPoint], zero_load_factor: float = 2.0) -> float:
@@ -109,18 +155,35 @@ def saturation_throughput(points: List[SweepPoint], zero_load_factor: float = 2.
 
 
 def run_workload(
-    topo_factory: Callable[[], SystemTopology],
+    topo_factory: TopologyLike,
     cfg: NocConfig,
     scheme_name: str,
     profile: WorkloadProfile,
     upp_cfg: Optional[UPPConfig] = None,
     max_cycles: int = 400_000,
+    runner=None,
 ) -> Dict[str, float]:
     """Closed-loop coherence run; runtime = cycles until every core done
     (Figs. 8, 12, 15)."""
-    sim_topo = topo_factory()
-    scheme = make_scheme(scheme_name, upp_cfg)
-    sim = Simulation(sim_topo, cfg, scheme)
+    from repro.exp.tasks import workload_spec
+
+    topo_name, factory = _resolve_topology(topo_factory)
+    if topo_name is None:
+        return _workload_inline(factory, cfg, scheme_name, profile, upp_cfg, max_cycles)
+    spec = workload_spec(
+        topo_name, cfg, scheme_name, profile, upp_cfg=upp_cfg, max_cycles=max_cycles
+    )
+    return _runner_or_default(runner).run([spec])[0]
+
+
+def _workload_inline(
+    factory, cfg, scheme_name, profile, upp_cfg, max_cycles
+) -> Dict[str, float]:
+    """In-process workload run for unregistered topology factories."""
+    from repro.sim.simulator import Simulation
+    from repro.traffic.coherence import install_coherence_workload, workload_finished
+
+    sim = Simulation(factory(), cfg, make_scheme(scheme_name, upp_cfg))
     endpoints = install_coherence_workload(sim.network, profile)
     # keep the stats callback installed by Simulation: coherence endpoints
     # consume from ejection queues; stats hook sees every ejection.
@@ -143,18 +206,37 @@ def run_workload(
 
 
 def runtime_comparison(
-    topo_factory: Callable[[], SystemTopology],
+    topo_factory: TopologyLike,
     cfg: NocConfig,
     profile: WorkloadProfile,
     schemes: Sequence[str] = ("composable", "remote_control", "upp"),
     upp_cfg: Optional[UPPConfig] = None,
+    max_cycles: int = 400_000,
+    runner=None,
 ) -> Dict[str, Dict[str, float]]:
     """Per-scheme workload runtimes, plus values normalised to the first
-    scheme (the paper normalises to composable routing)."""
-    results = {
-        name: run_workload(topo_factory, cfg, name, profile, upp_cfg)
-        for name in schemes
-    }
+    scheme (the paper normalises to composable routing).
+
+    All schemes' runs are submitted as one batch, so a parallel runner
+    overlaps them.
+    """
+    from repro.exp.tasks import workload_spec
+
+    topo_name, factory = _resolve_topology(topo_factory)
+    if topo_name is None:
+        results = {
+            name: _workload_inline(factory, cfg, name, profile, upp_cfg, max_cycles)
+            for name in schemes
+        }
+    else:
+        specs = [
+            workload_spec(
+                topo_name, cfg, name, profile, upp_cfg=upp_cfg, max_cycles=max_cycles
+            )
+            for name in schemes
+        ]
+        rows = _runner_or_default(runner).run(specs)
+        results = dict(zip(schemes, rows))
     reference = results[schemes[0]]["runtime"]
     for name in schemes:
         results[name]["normalized_runtime"] = results[name]["runtime"] / reference

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Tuple
+
 from repro.core.config import UPPConfig
 from repro.noc.config import NocConfig
 from repro.topology.chiplet import SystemTopology, baseline_system, large_system
@@ -40,13 +42,25 @@ def table2_config(vcs_per_vnet: int = 1, seed: int = 2022) -> NocConfig:
     )
 
 
-def table2_upp_config(threshold: int = None) -> UPPConfig:
+def table2_upp_config(threshold: Optional[int] = None) -> UPPConfig:
     """The paper's UPP configuration (20-cycle detection threshold)."""
     return UPPConfig(
         detection_threshold=(
             threshold if threshold is not None else TABLE_II["upp_detection_threshold"]
         )
     )
+
+
+#: system preset name -> (registered topology name, VCs per VNet).  The
+#: paper evaluates both systems with 1 and 4 VCs per VNet (Table II);
+#: ``repro.api.load_preset`` and the certifier's preset matrix both
+#: derive from this table.
+SYSTEM_PRESETS: Dict[str, Tuple[str, int]] = {
+    "baseline": ("baseline", 1),
+    "baseline-4vc": ("baseline", 4),
+    "large": ("large", 1),
+    "large-4vc": ("large", 4),
+}
 
 
 def baseline_topology() -> SystemTopology:

@@ -9,13 +9,23 @@ from repro.topology.chiplet import (
     star_system,
 )
 from repro.topology.faults import inject_faults
+from repro.topology.registry import (
+    get_topology,
+    register_topology,
+    topology_name_of,
+    topology_names,
+)
 
 __all__ = [
     "SystemTopology",
     "baseline_system",
     "build_heterogeneous_system",
     "build_system",
+    "get_topology",
     "inject_faults",
     "large_system",
+    "register_topology",
     "star_system",
+    "topology_name_of",
+    "topology_names",
 ]

@@ -19,6 +19,41 @@ class TestParser:
         assert args.scheme == "upp"
         assert args.pattern == "uniform_random"
         assert args.vcs == 1
+        assert args.jobs is None
+        assert args.cache_dir is None
+        assert args.expect_cached is False
+
+    def test_sweep_runner_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--jobs", "4", "--cache-dir", "/tmp/c", "--expect-cached"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.expect_cached is True
+
+    def test_scheme_choices_come_from_registry(self):
+        from repro.schemes.registry import scheme_names
+
+        parser = build_parser()
+        for name in scheme_names():
+            assert parser.parse_args(["sweep", "--scheme", name]).scheme == name
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--scheme", "frobnicate"])
+
+    def test_cache_subcommand(self):
+        args = build_parser().parse_args(["cache", "ls", "--cache-dir", "/tmp/c"])
+        assert args.action == "ls"
+        assert args.cache_dir == "/tmp/c"
+        args = build_parser().parse_args(
+            ["cache", "gc", "--cache-dir", "/tmp/c", "--max-age-days", "7"]
+        )
+        assert args.action == "gc"
+        assert args.max_age_days == 7.0
+        assert args.all is False
+
+    def test_cache_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "frobnicate"])
 
     def test_workload_requires_known_name(self):
         with pytest.raises(SystemExit):
@@ -63,6 +98,17 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "saturation throughput" in out
+
+    def test_sweep_cold_then_warm_cache(self, capsys, tmp_path):
+        argv = ["sweep", "--rates", "0.02", "--warmup", "200", "--measure", "600",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 executed, 0 from cache" in out
+        # warm replay: every point must come from the cache
+        assert main(argv + ["--expect-cached"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 1 from cache" in out
 
     def test_workload_small(self, capsys):
         code = main(["workload", "blackscholes", "--scale", "0.05"])
