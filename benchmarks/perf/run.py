@@ -6,6 +6,7 @@ discoverable next to the figure benches.  Usage::
 
     python benchmarks/perf/run.py [--smoke] [--out BENCH_core.json]
                                   [--baseline-rev <git-rev>]
+                                  [--profile [CONFIG]]
 """
 
 import sys

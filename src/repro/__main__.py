@@ -169,7 +169,7 @@ def cmd_deadlock(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Run the core perf harness (active-set vs full-sweep)."""
+    """Run the core perf harness (vector vs legacy vs full-sweep)."""
     from repro.bench import main as bench_main
 
     argv = ["--repeats", str(args.repeats), "--out", args.out]
@@ -177,6 +177,8 @@ def cmd_bench(args) -> int:
         argv.append("--smoke")
     if args.baseline_rev:
         argv.extend(["--baseline-rev", args.baseline_rev])
+    if args.profile is not None:
+        argv.extend(["--profile", args.profile])
     return bench_main(argv)
 
 
@@ -307,6 +309,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--out", default="BENCH_core.json")
     p.add_argument("--baseline-rev", default=None)
+    p.add_argument("--profile", nargs="?", const="uniform_r0.08",
+                   metavar="CONFIG", default=None,
+                   help="cProfile one config under the vector engine and exit")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("cache", help="experiment result cache: ls / gc")

@@ -98,6 +98,9 @@ class Sanitizer:
         self._check_counter_mirrors(net)
         self._check_credit_conservation(net)
         self._check_upp_legality(net)
+        # last: a divergence in the semantically-checked state above is
+        # reported as its own violation, not as a mirror artifact
+        self._check_vector_mirrors(net)
 
     def check_drained(self) -> None:
         """Assert the zero state after a successful drain.
@@ -246,6 +249,19 @@ class Sanitizer:
                         f"NI {ni.node} {name} mirror: counter={counter}, "
                         f"actual={actual}",
                     )
+
+    def _check_vector_mirrors(self, net) -> None:
+        """The vector engine's arrays must mirror the object state
+        exactly (write-through coverage of every mutation site)."""
+        vec = getattr(net, "vector", None)
+        if vec is None:
+            return
+        problems = vec.verify_mirrors()
+        if problems:
+            _fail(
+                net.cycle,
+                "vector mirror divergence: " + "; ".join(problems[:5]),
+            )
 
     def _peer_depth(self, net, router, port: Port) -> int:
         """VC depth of the buffer an output port's credits mirror."""

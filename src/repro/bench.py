@@ -1,18 +1,25 @@
 """Wall-clock performance harness for the simulator core.
 
-Times a set of representative configurations under the event-driven
-active-set scheduler (the default) and under the legacy per-cycle full
-sweep (``NocConfig.full_sweep=True``), asserts that both modes produce
-bit-identical results (via :func:`repro.metrics.stats.result_fingerprint`),
-and writes the measurements to ``BENCH_core.json``.
+Times a set of representative configurations under all three per-cycle
+engines — the vectorized struct-of-arrays datapath (``datapath="vector"``,
+the default), the scalar active-set core (``datapath="legacy"``) and the
+debug full sweep (``NocConfig.full_sweep=True``) — asserts that all modes
+produce bit-identical results (via
+:func:`repro.metrics.stats.result_fingerprint`), and writes the
+measurements to ``BENCH_core.json`` (``configs`` rows plus the
+``datapath`` summary section).
 
 The full-sweep mode still shares the route cache, incremental occupancy
-counters and inlined delivery loops with the active-set core, so the
+counters and inlined delivery loops with the other engines, so the
 in-repo mode-vs-mode ratio *understates* the gain over the pre-change
 core.  Pass ``--baseline-rev <git-rev>`` to additionally check out the
 pre-change tree into a temporary git worktree and time the low-load
 configuration against it in a subprocess — that is the number the
 "2x vs pre-change core" acceptance claim is based on.
+
+``--profile [CONFIG]`` wraps a single config (default ``uniform_r0.08``)
+in :mod:`cProfile` under the vector engine and prints the top-20
+cumulative hot spots, so perf work starts from data instead of guesses.
 
 Entry points: ``python -m repro bench`` or ``benchmarks/perf/run.py``
 (``make bench`` runs the smoke variant).
@@ -42,24 +49,52 @@ from repro.traffic.synthetic import install_synthetic_traffic
 #: name of the low-load config used for the baseline-rev comparison.
 LOW_LOAD_CONFIG = "uniform_r0.02"
 
+#: engine modes timed against each other; every runner takes one of these.
+MODES = ("vector", "legacy", "full_sweep")
 
-def _run_uniform(rate: float, full_sweep: bool, smoke: bool):
-    """One open-loop uniform-random run on the 8-chiplet large system."""
-    cfg = dataclasses.replace(table2_config(), full_sweep=full_sweep)
+#: configs in the saturated regime the vector datapath targets, summarized
+#: in the report's ``datapath`` section.
+SATURATED_CONFIGS = (
+    "uniform_r0.05",
+    "uniform_r0.08",
+    "uniform_r0.10",
+    "hotspot_r0.06",
+    "coherence_canneal",
+)
+
+
+def engine_config(cfg: NocConfig, mode: str) -> NocConfig:
+    """Rewrite an engine-selection mode into a config.
+
+    ``"vector"`` / ``"legacy"`` select the datapath; ``"full_sweep"`` is
+    the debug reference sweep (which always runs the scalar core).
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown engine mode {mode!r} (expected {MODES})")
+    return dataclasses.replace(
+        cfg,
+        datapath="vector" if mode == "vector" else "legacy",
+        full_sweep=mode == "full_sweep",
+    )
+
+
+def _run_uniform(rate: float, mode: str, smoke: bool, pattern: str = "uniform_random"):
+    """One open-loop synthetic-traffic run on the 8-chiplet large system."""
+    cfg = engine_config(table2_config(), mode)
     sim = Simulation(large_topology(), cfg, make_scheme("upp", table2_upp_config()))
-    install_synthetic_traffic(sim.network, "uniform_random", rate)
+    install_synthetic_traffic(sim.network, pattern, rate)
     warmup, measure = (100, 400) if smoke else (500, 2000)
     t0 = time.perf_counter()
     result = sim.run(warmup, measure)
     return time.perf_counter() - t0, result
 
 
-def _run_coherence(full_sweep: bool, smoke: bool):
+def _run_coherence(mode: str, smoke: bool):
     """One closed-loop coherence workload (canneal) on the baseline system."""
     from repro.traffic.coherence import install_coherence_workload, workload_finished
     from repro.traffic.workloads import get_workload
 
-    cfg = dataclasses.replace(table2_config(), full_sweep=full_sweep)
+    cfg = engine_config(table2_config(), mode)
     profile = get_workload("canneal", scale=0.05 if smoke else 0.25)
     sim = Simulation(baseline_system(), cfg, make_scheme("upp", table2_upp_config()))
     endpoints = install_coherence_workload(sim.network, profile)
@@ -73,12 +108,12 @@ def _run_coherence(full_sweep: bool, smoke: bool):
     return time.perf_counter() - t0, result
 
 
-def _run_deadlock_recovery(full_sweep: bool, smoke: bool):
+def _run_deadlock_recovery(mode: str, smoke: bool):
     """Adversarial traffic that deadlocks an unprotected 1-VC system;
     UPP must detect and recover (the paper's core scenario)."""
     from repro.traffic.adversarial import install_adversarial_traffic, witness_flows
 
-    cfg = NocConfig(vcs_per_vnet=1, full_sweep=full_sweep)
+    cfg = engine_config(NocConfig(vcs_per_vnet=1), mode)
     sim = Simulation(
         baseline_system(), cfg, make_scheme("upp", table2_upp_config()),
         watchdog_window=2500,
@@ -90,32 +125,45 @@ def _run_deadlock_recovery(full_sweep: bool, smoke: bool):
     return time.perf_counter() - t0, result
 
 
-#: (name, description, runner) for every benchmark configuration.
+#: (name, description, runner) for every benchmark configuration.  A
+#: runner takes ``(mode, smoke)`` with ``mode`` one of :data:`MODES`.
 CONFIGS: List[tuple] = [
     (
         "uniform_r0.02",
         "8-chiplet large system, UPP, uniform random @ 0.02 flits/node/cycle",
-        lambda fs, smoke: _run_uniform(0.02, fs, smoke),
+        lambda mode, smoke: _run_uniform(0.02, mode, smoke),
     ),
     (
         "uniform_r0.05",
         "8-chiplet large system, UPP, uniform random @ 0.05 flits/node/cycle",
-        lambda fs, smoke: _run_uniform(0.05, fs, smoke),
+        lambda mode, smoke: _run_uniform(0.05, mode, smoke),
     ),
     (
         "uniform_r0.08",
         "8-chiplet large system, UPP, uniform random @ 0.08 flits/node/cycle",
-        lambda fs, smoke: _run_uniform(0.08, fs, smoke),
+        lambda mode, smoke: _run_uniform(0.08, mode, smoke),
+    ),
+    (
+        "uniform_r0.10",
+        "8-chiplet large system, UPP, uniform random @ 0.10 flits/node/cycle "
+        "(past saturation)",
+        lambda mode, smoke: _run_uniform(0.10, mode, smoke),
+    ),
+    (
+        "hotspot_r0.06",
+        "8-chiplet large system, UPP, 30% hotspot traffic @ 0.06 "
+        "flits/node/cycle (tree-shaped saturation)",
+        lambda mode, smoke: _run_uniform(0.06, mode, smoke, pattern="hotspot"),
     ),
     (
         "coherence_canneal",
         "closed-loop MESI coherence workload (canneal) on the baseline system",
-        lambda fs, smoke: _run_coherence(fs, smoke),
+        lambda mode, smoke: _run_coherence(mode, smoke),
     ),
     (
         "deadlock_recovery",
         "adversarial 1-VC deadlock provoked and recovered by UPP",
-        lambda fs, smoke: _run_deadlock_recovery(fs, smoke),
+        lambda mode, smoke: _run_deadlock_recovery(mode, smoke),
     ),
 ]
 
@@ -228,12 +276,33 @@ def _bench_parallel_sweep(smoke: bool, jobs: int = 4) -> Dict[str, object]:
     }
 
 
-def _best_of(runner: Callable, full_sweep: bool, smoke: bool, repeats: int):
+def _best_of(runner: Callable, mode: str, smoke: bool, repeats: int):
     best, result = float("inf"), None
     for _ in range(repeats):
-        secs, result = runner(full_sweep, smoke)
+        secs, result = runner(mode, smoke)
         best = min(best, secs)
     return best, result
+
+
+def profile_config(name: str, smoke: bool = False, log: Callable[[str], None] = print) -> None:
+    """cProfile one config under the vector engine; print top-20 by
+    cumulative time so perf work starts from data instead of guesses."""
+    import cProfile
+    import pstats
+
+    try:
+        runner = next(r for n, _d, r in CONFIGS if n == name)
+    except StopIteration:
+        known = ", ".join(n for n, _d, _r in CONFIGS)
+        raise SystemExit(f"bench: unknown --profile config {name!r} (one of: {known})")
+    prof = cProfile.Profile()
+    prof.enable()
+    secs, result = runner("vector", smoke)
+    prof.disable()
+    log(f"{name}: {secs:.3f}s, {int(result.summary['packets'])} packets, "
+        f"{result.cycles} cycles (datapath=vector)")
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative").print_stats(20)
 
 
 def run_core_bench(
@@ -242,7 +311,7 @@ def run_core_bench(
     baseline_rev: Optional[str] = None,
     log: Callable[[str], None] = print,
 ) -> Dict[str, object]:
-    """Run every config in both modes and return the report dict."""
+    """Run every config under all three engines and return the report dict."""
     if smoke:
         repeats = 1
     if repeats < 1:
@@ -258,32 +327,50 @@ def run_core_bench(
             )
     rows = []
     for name, description, runner in CONFIGS:
-        active_s, active_res = _best_of(runner, False, smoke, repeats)
-        sweep_s, sweep_res = _best_of(runner, True, smoke, repeats)
-        fp_active = result_fingerprint(active_res)
-        fp_sweep = result_fingerprint(sweep_res)
-        if fp_active != fp_sweep:
-            raise AssertionError(
-                f"{name}: active-set and full-sweep results diverge:\n"
-                f"  active: {fp_active}\n  sweep : {fp_sweep}"
-            )
+        seconds: Dict[str, float] = {}
+        fps: Dict[str, str] = {}
+        results: Dict[str, object] = {}
+        for mode in MODES:
+            secs, res = _best_of(runner, mode, smoke, repeats)
+            seconds[mode] = secs
+            fps[mode] = result_fingerprint(res)
+            results[mode] = res
+        if any(fps[m] != fps["vector"] for m in MODES):
+            detail = "\n".join(f"  {m}: {fp}" for m, fp in fps.items())
+            raise AssertionError(f"{name}: engine results diverge:\n{detail}")
+        res = results["vector"]
         row = {
             "name": name,
             "description": description,
-            "active_seconds": round(active_s, 4),
-            "full_sweep_seconds": round(sweep_s, 4),
-            "speedup_vs_full_sweep": round(sweep_s / active_s, 3),
+            "vector_seconds": round(seconds["vector"], 4),
+            "legacy_seconds": round(seconds["legacy"], 4),
+            "full_sweep_seconds": round(seconds["full_sweep"], 4),
+            "vector_speedup_vs_full_sweep": round(
+                seconds["full_sweep"] / seconds["vector"], 3
+            ),
+            "vector_speedup_vs_legacy": round(
+                seconds["legacy"] / seconds["vector"], 3
+            ),
             "identical_results": True,
-            "packets": int(active_res.summary["packets"]),
-            "cycles": active_res.cycles,
+            "packets": int(res.summary["packets"]),
+            "cycles": res.cycles,
         }
         rows.append(row)
         log(
-            f"{name:>20}: active {active_s:7.3f}s  full-sweep {sweep_s:7.3f}s  "
-            f"({row['speedup_vs_full_sweep']:.2f}x, results identical)"
+            f"{name:>20}: vector {seconds['vector']:7.3f}s  "
+            f"legacy {seconds['legacy']:7.3f}s  "
+            f"full-sweep {seconds['full_sweep']:7.3f}s  "
+            f"({row['vector_speedup_vs_full_sweep']:.2f}x vs sweep, "
+            f"{row['vector_speedup_vs_legacy']:.2f}x vs legacy, identical)"
         )
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    saturated = [r for r in rows if r["name"] in SATURATED_CONFIGS]
     report: Dict[str, object] = {
-        "schema": "repro-bench-core/v1",
+        "schema": "repro-bench-core/v2",
         "generated_unix": int(time.time()),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -295,6 +382,18 @@ def run_core_bench(
             "upp": table2_upp_config().fingerprint(),
         },
         "configs": rows,
+        "datapath": {
+            "default_engine": "vector",
+            "numpy": numpy_version,
+            "saturated_configs": [r["name"] for r in saturated],
+            "saturated_vector_speedup_vs_full_sweep": {
+                r["name"]: r["vector_speedup_vs_full_sweep"] for r in saturated
+            },
+            "saturated_vector_speedup_vs_legacy": {
+                r["name"]: r["vector_speedup_vs_legacy"] for r in saturated
+            },
+            "identical_results": all(r["identical_results"] for r in rows),
+        },
     }
     par = _bench_parallel_sweep(smoke)
     report["sweep_parallel"] = par
@@ -314,7 +413,7 @@ def run_core_bench(
                 f"vs {low['packets']} now — results are not comparable"
             )
         base["speedup_vs_baseline"] = round(
-            base["seconds"] / low["active_seconds"], 3
+            base["seconds"] / low["vector_seconds"], 3
         )
         report["baseline"] = base
         log(
@@ -339,7 +438,15 @@ def main(argv=None) -> int:
                         help="report path ('-' for stdout only)")
     parser.add_argument("--baseline-rev", default=None,
                         help="git rev of the pre-change core to time against")
+    parser.add_argument("--profile", nargs="?", const="uniform_r0.08",
+                        metavar="CONFIG", default=None,
+                        help="cProfile one config under the vector engine, "
+                             "print the top-20 cumulative hot spots and exit "
+                             "(default config: uniform_r0.08)")
     args = parser.parse_args(argv)
+    if args.profile is not None:
+        profile_config(args.profile, smoke=args.smoke)
+        return 0
     if args.out != "-" and not Path(args.out).parent.is_dir():
         parser.error(f"--out directory does not exist: {Path(args.out).parent}")
     report = run_core_bench(

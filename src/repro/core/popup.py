@@ -134,6 +134,16 @@ class InterposerPopupUnit:
         attempt = self.attempts[vc.vnet]
         return attempt.phase == PopupPhase.ACTIVE_LOCAL and attempt.vc_ref is vc
 
+    def has_active_local(self) -> bool:
+        """True while any attempt is in ACTIVE_LOCAL, i.e. :meth:`pre_switch`
+        may move flits this cycle.  The vector engine routes routers in this
+        state through the scalar step (the popup drain and its ``holds_vc``
+        SA exclusion are not expressible in the arrays)."""
+        for attempt in self.attempts:
+            if attempt.phase == PopupPhase.ACTIVE_LOCAL:
+                return True
+        return False
+
     def on_normal_up_departure(self, router, flit, cycle: int) -> None:
         """A flit left through an upward port via normal switch allocation."""
         attempt = self.attempts[flit.packet.vnet]

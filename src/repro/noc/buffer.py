@@ -14,6 +14,10 @@ from typing import Optional
 
 from repro.noc.flit import Flit, Port
 
+#: sentinel "no head flit" eligibility cycle for the vector-engine
+#: mirror arrays (far beyond any reachable simulation cycle).
+_NEVER = 1 << 60
+
 
 class VirtualChannel:
     """One input virtual channel of a router port.
@@ -29,11 +33,20 @@ class VirtualChannel:
         "vc_index",
         "depth",
         "queue",
-        "out_port",
-        "out_vc",
+        "_out_port",
+        "_out_vc",
         "active_pid",
-        "popup_tagged",
+        "_popup_tagged",
         "_port",
+        # --- vector-datapath mirror bindings (see repro.noc.vector) ---
+        "_cell",   # flat (row, vc) index into the engine arrays; -1 unbound
+        "_alen",   # per-cell occupancy array
+        "_adue",   # per-cell head SA-eligibility cycle array
+        "_aneed",  # per-cell head packet-size array (VCT admission)
+        "_aop",    # per-cell cached route (int Port; -1 unrouted)
+        "_aovc",   # per-cell allocated output VC (-1 before VCS)
+        "_atag",   # per-cell popup_tagged array
+        "_dly",    # owning router's SA eligibility delay
     )
 
     def __init__(self, vnet: int, vc_index: int, depth: int, port=None):
@@ -42,14 +55,64 @@ class VirtualChannel:
         self.vc_index = vc_index
         self.depth = depth
         self.queue: deque = deque()
-        self.out_port: Optional[Port] = None
-        self.out_vc: int = -1
+        self._out_port: Optional[Port] = None
+        self._out_vc: int = -1
         self.active_pid: int = -1
         #: set when an UPP_req found this VC holding the head flit of a
         #: partly-transmitted upward packet (Sec. V-B3): popup starts here.
-        self.popup_tagged = False
+        self._popup_tagged = False
         #: owning InputPort (its occupancy counter tracks our pushes/pops).
         self._port = port
+        # unbound until a vector engine adopts this VC; every write to the
+        # mirrored attributes below is reflected into the engine arrays so
+        # array state stays truthful no matter which code path mutates it
+        self._cell = -1
+        self._alen = None
+        self._adue = None
+        self._aneed = None
+        self._aop = None
+        self._aovc = None
+        self._atag = None
+        self._dly = 0
+
+    # --- mirrored VC state -------------------------------------------- #
+    # The vector engine scans (out_port, out_vc, popup_tagged) as numpy
+    # arrays; these properties keep the arrays in sync with the object
+    # attributes that the router, the UPP machinery and the diagnostics
+    # all mutate directly.
+
+    @property
+    def out_port(self) -> Optional[Port]:
+        return self._out_port
+
+    @out_port.setter
+    def out_port(self, value: Optional[Port]) -> None:
+        self._out_port = value
+        c = self._cell
+        if c >= 0:
+            self._aop[c] = -1 if value is None else value
+
+    @property
+    def out_vc(self) -> int:
+        return self._out_vc
+
+    @out_vc.setter
+    def out_vc(self, value: int) -> None:
+        self._out_vc = value
+        c = self._cell
+        if c >= 0:
+            self._aovc[c] = value
+
+    @property
+    def popup_tagged(self) -> bool:
+        return self._popup_tagged
+
+    @popup_tagged.setter
+    def popup_tagged(self, value: bool) -> None:
+        self._popup_tagged = value
+        c = self._cell
+        if c >= 0:
+            self._atag[c] = value
 
     @property
     def is_idle(self) -> bool:
@@ -88,12 +151,28 @@ class VirtualChannel:
         self.queue.append(flit)
         if self._port is not None:
             self._port.occupancy += 1
+        c = self._cell
+        if c >= 0:
+            self._alen[c] += 1
+            if len(self.queue) == 1:
+                self._adue[c] = cycle + self._dly
+                self._aneed[c] = flit.packet.size
 
     def pop(self) -> Flit:
         """Remove the front flit; resets the VC to IDLE after the tail."""
         flit = self.queue.popleft()
         if self._port is not None:
             self._port.occupancy -= 1
+        c = self._cell
+        if c >= 0:
+            self._alen[c] -= 1
+            queue = self.queue
+            if queue:
+                head = queue[0]
+                self._adue[c] = head.arrival_cycle + self._dly
+                self._aneed[c] = head.packet.size
+            else:
+                self._adue[c] = _NEVER
         if flit.is_tail:
             self.active_pid = -1
             self.out_port = None
@@ -150,7 +229,18 @@ class OutputPort:
     ``vc_free`` credit).
     """
 
-    __slots__ = ("port", "credits", "vc_busy", "vc_owner", "n_vnets", "vcs_per_vnet")
+    __slots__ = (
+        "port",
+        "credits",
+        "vc_busy",
+        "vc_owner",
+        "n_vnets",
+        "vcs_per_vnet",
+        # --- vector-datapath mirror bindings (see repro.noc.vector) ---
+        "_obase",  # flat (output row, vc 0) index into the engine arrays
+        "_acred",  # global credit-count array
+        "_abusy",  # global VC-allocation array
+    )
 
     def __init__(self, port: Port, n_vnets: int, vcs_per_vnet: int, depth: int):
         self.port = port
@@ -161,6 +251,13 @@ class OutputPort:
         self.vc_busy = [False] * n_vcs
         #: pid of the packet the VC is allocated to (diagnostics only).
         self.vc_owner = [-1] * n_vcs
+        # unbound until a vector engine adopts this port; the three
+        # mutation sites below write through so the engine's batch scans
+        # always see current credit/allocation state, while every reader
+        # (router, NI, schemes, sanitizer, tests) keeps plain lists
+        self._obase = -1
+        self._acred = None
+        self._abusy = None
 
     def free_vcs(self, vnet: int, need: int = 1):
         """Output VCs of ``vnet`` that are IDLE downstream and hold at
@@ -179,19 +276,31 @@ class OutputPort:
             raise RuntimeError(f"output VC {vc} double-allocated")
         self.vc_busy[vc] = True
         self.vc_owner[vc] = owner_pid
+        b = self._obase
+        if b >= 0:
+            self._abusy[b + vc] = True
 
     def consume_credit(self, vc: int) -> None:
         """Spend one downstream buffer slot (flit departure)."""
-        if self.credits[vc] <= 0:
+        credits = self.credits
+        if credits[vc] <= 0:
             raise RuntimeError(f"credit underflow on output VC {vc}")
-        self.credits[vc] -= 1
+        credits[vc] -= 1
+        b = self._obase
+        if b >= 0:
+            self._acred[b + vc] -= 1
 
     def return_credit(self, vc: int, vc_free: bool) -> None:
         """Credit return; ``vc_free`` also releases the VC allocation."""
         self.credits[vc] += 1
+        b = self._obase
+        if b >= 0:
+            self._acred[b + vc] += 1
         if vc_free:
             self.vc_busy[vc] = False
             self.vc_owner[vc] = -1
+            if b >= 0:
+                self._abusy[b + vc] = False
 
 
 class Credit:

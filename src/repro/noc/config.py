@@ -20,6 +20,17 @@ def _sanitize_default() -> bool:
     return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
 
 
+def _datapath_default() -> str:
+    """Default datapath engine, overridable via ``REPRO_DATAPATH``.
+
+    The environment hook lets an existing test/bench suite be run
+    against the legacy scalar core without touching every configuration
+    site (``REPRO_DATAPATH=legacy pytest ...``), mirroring the
+    ``REPRO_SANITIZE`` pattern.
+    """
+    return os.environ.get("REPRO_DATAPATH", "") or "vector"
+
+
 @dataclass
 class NocConfig:
     """Microarchitectural parameters shared by every router and NI.
@@ -68,6 +79,18 @@ class NocConfig:
     #: O(1) counter checks run every cycle regardless.  0 disables the
     #: periodic deep sweep (it still runs at drain and reconfiguration).
     sanitize_interval: int = 256
+    #: per-cycle evaluation engine: ``"vector"`` (struct-of-arrays numpy
+    #: batch scans over credits / VC state / link timers) or ``"legacy"``
+    #: (the pure-Python scalar core, preserved verbatim).  The two are
+    #: bit-identical — the determinism suite proves it — so the choice is
+    #: excluded from :meth:`fingerprint`.  Defaults to the
+    #: ``REPRO_DATAPATH`` environment variable, else ``"vector"``.
+    datapath: str = field(default_factory=_datapath_default)
+
+    #: fields that select an execution strategy rather than simulated
+    #: behaviour; excluded from the result-cache fingerprint so runs that
+    #: are provably bit-identical share cache entries.
+    NON_SEMANTIC_FIELDS = ("datapath",)
 
     @property
     def n_vcs(self) -> int:
@@ -98,8 +121,17 @@ class NocConfig:
         return cls(**dict(payload))
 
     def fingerprint(self) -> str:
-        """Stable content hash; the runner's cache-key ingredient."""
-        return stable_fingerprint(self.FINGERPRINT_TAG, self.to_dict())
+        """Stable content hash; the runner's cache-key ingredient.
+
+        Engine-selection fields (:attr:`NON_SEMANTIC_FIELDS`) are dropped
+        before hashing: a vector and a legacy run of the same
+        configuration produce the same results, so they must share the
+        same cache key.
+        """
+        payload = self.to_dict()
+        for name in self.NON_SEMANTIC_FIELDS:
+            payload.pop(name, None)
+        return stable_fingerprint(self.FINGERPRINT_TAG, payload)
 
     def validate(self) -> None:
         """Reject configurations the model cannot represent."""
@@ -115,6 +147,8 @@ class NocConfig:
             raise ValueError("pipeline must have at least one stage")
         if self.sanitize_interval < 0:
             raise ValueError("sanitize_interval must be >= 0")
+        if self.datapath not in ("vector", "legacy"):
+            raise ValueError("datapath must be 'vector' or 'legacy'")
         if self.data_packet_size < 1 or self.control_packet_size < 1:
             raise ValueError("packet sizes must be positive")
         if self.flow_control == "vct" and self.vc_depth < self.data_packet_size:

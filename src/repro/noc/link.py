@@ -42,6 +42,7 @@ class Link:
         "_busy",
         "kind",
         "_order",
+        "_vec_due",
     )
 
     #: delivery-dispatch categories used by the network scheduler.
@@ -74,6 +75,10 @@ class Link:
         self.kind = Link.ROUTER
         #: position in the network's delivery order (full-sweep order).
         self._order = 0
+        #: vector-engine next-delivery array indexed by ``_order`` (the
+        #: engine finds due links with one numpy compare instead of a
+        #: busy-set sweep); None outside a vector network.
+        self._vec_due = None
 
     def _register(self) -> None:
         if not self._busy and self._sched is not None:
@@ -85,8 +90,12 @@ class Link:
         it is buffer-written downstream at ``cycle + latency`` (LT)."""
         if self.faulty:
             raise RuntimeError(f"flit sent over faulty link {self.src}->{self.dst}")
-        self._flits.append((cycle + self.latency, flit, out_vc))
+        due = cycle + self.latency
+        self._flits.append((due, flit, out_vc))
         self.flits_carried += 1
+        vec = self._vec_due
+        if vec is not None and due < vec[self._order]:
+            vec[self._order] = due
         sched = self._sched
         if sched is not None:
             if flit.is_signal:
@@ -97,7 +106,11 @@ class Link:
 
     def send_credit(self, credit, cycle: int) -> None:
         """Send a credit upstream (same latency as the data path)."""
-        self._credits.append((cycle + self.latency, credit))
+        due = cycle + self.latency
+        self._credits.append((due, credit))
+        vec = self._vec_due
+        if vec is not None and due < vec[self._order]:
+            vec[self._order] = due
         if not self._busy and self._sched is not None:
             self._busy = True
             self._sched.wake_link(self)

@@ -110,6 +110,18 @@ class Network:
         for router in self.routers.values():
             router.routing = self.routing
 
+        #: struct-of-arrays vector datapath engine (``cfg.datapath``);
+        #: None under the legacy scalar core, the debug full sweep, or
+        #: when numpy is unavailable.  Built after scheme attachment so
+        #: the arrays can adopt scheme state (popup units).
+        self.vector = None
+        if self.cfg.datapath == "vector" and not self.cfg.full_sweep:
+            from repro.noc.vector import HAVE_NUMPY, VectorEngine
+
+            if HAVE_NUMPY:
+                self.vector = VectorEngine(self)
+                self.vector.adopt_scheme_state()
+
         #: opt-in invariant sanitizer (``cfg.sanitize``); read-only, so
         #: enabling it cannot change simulation results.
         self.sanitizer = None
@@ -241,6 +253,8 @@ class Network:
         for the phase order)."""
         if self.cfg.full_sweep:
             self._step_full()
+        elif self.vector is not None:
+            self._step_vector()
         else:
             self._step_active()
         if self.sanitizer is not None:
@@ -311,6 +325,42 @@ class Network:
                     ni._queued = False
 
         # 4. scheme control logic
+        if self.scheme is not None:
+            self.scheme.post_cycle(self, cycle)
+        self.cycle += 1
+
+    def _step_vector(self) -> None:
+        """Vector-engine cycle: same phases as :meth:`_step_active`, but
+        delivery due-scans and switch allocation run as array batch
+        operations (:mod:`repro.noc.vector`).  The active set still feeds
+        the engine — it is how routers with live scheme state (signals,
+        popups, boundary buffers) are detected and routed through the
+        scalar step."""
+        cycle = self.cycle
+        timers = self._timers
+        while timers and timers[0][0] <= cycle:
+            _, rid = heapq.heappop(timers)
+            self.routers[rid].wake()
+        ni_timers = self._ni_timers
+        while ni_timers and ni_timers[0][0] <= cycle:
+            _, node = heapq.heappop(ni_timers)
+            self.nis[node]._wake()
+
+        vec = self.vector
+        vec.deliver(cycle)
+
+        self.stepped_routers.clear()
+        vec.switch_phase(cycle)
+
+        active_nis = self._active_nis
+        if active_nis:
+            for node in sorted(active_nis):
+                ni = active_nis[node]
+                ni.step(cycle)
+                if ni._can_sleep(cycle):
+                    del active_nis[node]
+                    ni._queued = False
+
         if self.scheme is not None:
             self.scheme.post_cycle(self, cycle)
         self.cycle += 1

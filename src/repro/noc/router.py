@@ -221,7 +221,12 @@ class Router:
     def wake(self) -> None:
         """Force evaluation on the next cycle.  Needed only when state is
         planted directly into buffers (tests, diagnostics) instead of
-        arriving through :meth:`receive_flit`."""
+        arriving through :meth:`receive_flit`.  Under the vector engine
+        this also resynchronizes the router's mirror arrays, so planted
+        state becomes visible to the batch scans."""
+        vec = getattr(self._sched, "vector", None)
+        if vec is not None:
+            vec.resync_router(self)
         self._wake()
 
     def _wake(self) -> None:

@@ -1,0 +1,532 @@
+"""Struct-of-arrays vector datapath engine (``NocConfig.datapath="vector"``).
+
+The scalar core spends its saturated-load cycles scanning Python objects:
+every awake router walks its input VCs, re-derives head eligibility,
+checks downstream credits and free output VCs, and only then discovers
+that most heads cannot move.  This engine hoists exactly that
+bookkeeping — VC occupancy, head SA-eligibility, cached routes, output
+credits/allocation and link delivery timers — into preallocated numpy
+arrays indexed by ``(router, port, vc)`` and evaluates the whole network
+with a handful of batch operations per cycle.
+
+Array layout (built once from the topology at :class:`~repro.noc.network.
+Network` construction):
+
+* one **input row** per ``(router, input port)`` pair, numbered in
+  ascending router id and port-insertion order — i.e. exactly the order
+  the scalar switch-allocation sweep visits them, so iterating granted
+  rows in index order reproduces the legacy nomination order;
+* one **cell** per ``(row, vc)``: ``vc_len``, ``head_due`` (arrival +
+  SA-eligibility delay), ``head_need`` (packet size, for VCT admission),
+  ``out_port`` / ``out_vc`` route mirrors and the ``popup_tagged`` flag;
+* one **output row** per ``(router, output port)``: ``credits`` and
+  ``vc_busy``, kept truthful by write-through hooks in the owning
+  :class:`~repro.noc.buffer.OutputPort`'s three mutation sites
+  (``allocate`` / ``consume_credit`` / ``return_credit``) while every
+  reader keeps plain Python lists;
+* one **slot** per link holding its earliest pending delivery cycle.
+
+Flit payloads stay Python objects inside the per-VC deques (the flit
+table); only bookkeeping is vectorized.  The per-cycle evaluation is:
+
+1. deliver every link whose due-cycle has arrived (one numpy compare
+   finds them; the scalar drain loop is reused verbatim);
+2. compute the candidate/blocked/request masks for every cell at once;
+3. hand rows with requests to the routers' *real* round-robin arbiters
+   and execute winners through the scalar :meth:`Router._traverse`, in
+   ascending router order interleaved with the routers that need the
+   full scalar step (live signal/popup/boundary-buffer state) — so
+   arbiter pointers and RNG draws advance in exactly the legacy order.
+
+The active-set machinery from the event-driven core survives as the
+*controller*: its wake plumbing decides which routers still carry
+scheme state that the arrays cannot express, and only those take the
+scalar path.  Everything else — the saturated-load common case — never
+touches a Python router step at all.
+
+Results are bit-identical to the legacy engine and the full sweep; the
+determinism suite (``tests/integration/test_vector_determinism.py``)
+proves it over every bench config, every registered scheme and the
+fault-replay scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+try:  # numpy is a hard dependency of the vector engine only: without it
+    import numpy as _np  # the network silently falls back to the legacy
+except ImportError:  # scalar core (see Network._build_datapath)
+    _np = None
+
+from repro.noc.arbiter import RoundRobinArbiter
+from repro.noc.buffer import _NEVER
+from repro.noc.flit import Port
+
+HAVE_NUMPY = _np is not None
+
+_N_PORTS = len(Port)
+_UP = int(Port.UP)
+_UP2 = int(Port.UP2)
+
+
+class VectorEngine:
+    """Per-network vectorized evaluation state (see module docstring)."""
+
+    def __init__(self, net) -> None:
+        if _np is None:  # pragma: no cover - guarded by the caller
+            raise RuntimeError("vector datapath requires numpy")
+        self.net = net
+        self.n_vnets = net.cfg.n_vnets
+        self._build_rows(net)
+        self._build_links(net)
+        #: interposer routers carrying a popup unit (filled by ``adopt_
+        #: scheme_state`` after the scheme attaches its controllers).
+        self.upp_routers: List = []
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def _build_rows(self, net) -> None:
+        np = _np
+        routers = [net.routers[rid] for rid in sorted(net.routers)]
+        vmax = max((r.cfg.n_vcs for r in routers), default=1)
+        for r in routers:
+            for oport in r.out_ports.values():
+                vmax = max(vmax, len(oport.credits))
+        self.vmax = vmax
+
+        # ---- input rows / cells ----
+        self.row_router: List = []
+        self.row_port: List[Port] = []
+        self.row_iport: List = []
+        #: rid -> (first cell, last cell + 1); rows are contiguous per
+        #: router, so masking a scalar-path router is two slice stores.
+        self.cell_span: Dict[int, Tuple[int, int]] = {}
+        rid_rows: List[Tuple[int, int]] = []
+        for r in routers:
+            row_lo = len(self.row_router)
+            for port, iport in r.in_ports.items():
+                self.row_router.append(r)
+                self.row_port.append(port)
+                self.row_iport.append(iport)
+            self.cell_span[r.rid] = (row_lo * vmax, len(self.row_router) * vmax)
+            rid_rows.append((r.rid, row_lo))
+        n_rows = len(self.row_router)
+        n_cells = n_rows * vmax
+
+        self.vc_len = np.zeros(n_cells, np.int64)
+        self.head_due = np.full(n_cells, _NEVER, np.int64)
+        self.head_need = np.ones(n_cells, np.int64)
+        self.out_port_a = np.full(n_cells, -1, np.int64)
+        self.out_vc_a = np.full(n_cells, -1, np.int64)
+        self.tagged = np.zeros(n_cells, bool)
+        self.cell_vnet = np.zeros(n_cells, np.int64)
+        self.cell_vnet_l: List[int] = [0] * n_cells
+        #: rid * n_ports per cell, for the (router, out_port) -> output-row
+        #: lookup gather.
+        self.cell_rbase = np.zeros(n_cells, np.int64)
+        self.cell_upp = np.zeros(n_cells, bool)
+        self.vct_cell = np.zeros(n_cells, bool)
+        self.any_vct = False
+
+        for row, (r, iport) in enumerate(zip(self.row_router, self.row_iport)):
+            is_vct = r.cfg.flow_control == "vct"
+            for vc in iport.vcs:
+                cell = row * vmax + vc.vc_index
+                self.cell_vnet[cell] = vc.vnet
+                self.cell_vnet_l[cell] = vc.vnet
+                self.cell_rbase[cell] = r.rid * _N_PORTS
+                if is_vct:
+                    self.vct_cell[cell] = True
+                    self.any_vct = True
+                # bind the VC's mirror slots: push/pop and the mirrored
+                # attribute setters keep the arrays truthful from now on
+                vc._cell = cell
+                vc._alen = self.vc_len
+                vc._adue = self.head_due
+                vc._aneed = self.head_need
+                vc._aop = self.out_port_a
+                vc._aovc = self.out_vc_a
+                vc._atag = self.tagged
+                vc._dly = r._sa_delay
+                # adopt any pre-existing buffered state (networks are
+                # normally empty here; tests may plant flits first)
+                self.vc_len[cell] = len(vc.queue)
+                if vc.queue:
+                    head = vc.queue[0]
+                    self.head_due[cell] = head.arrival_cycle + r._sa_delay
+                    self.head_need[cell] = head.packet.size
+                if vc._out_port is not None:
+                    self.out_port_a[cell] = int(vc._out_port)
+                self.out_vc_a[cell] = vc._out_vc
+                self.tagged[cell] = vc._popup_tagged
+
+        # ---- output rows ----
+        orows: List = []
+        self.outrow_flat = np.full(len(routers) * _N_PORTS, -1, np.int64)
+        for r in routers:
+            for port, oport in r.out_ports.items():
+                self.outrow_flat[r.rid * _N_PORTS + int(port)] = len(orows)
+                orows.append(oport)
+        self.n_orow = len(orows)
+        self.credits2d = np.zeros((self.n_orow, vmax), np.int64)
+        self.busy2d = np.zeros((self.n_orow, vmax), bool)
+        #: static per-vnet column masks over the output cells (a column is
+        #: an output VC; its vnet depends on the *peer* router's VC split).
+        self.ovc_mask3 = np.zeros((self.n_vnets, self.n_orow, vmax), bool)
+        self.credits_flat = self.credits2d.reshape(-1)
+        self.busy_flat = self.busy2d.reshape(-1)
+        for orow, oport in enumerate(orows):
+            n_vcs = len(oport.credits)
+            self.credits2d[orow, :n_vcs] = oport.credits
+            self.busy2d[orow, :n_vcs] = oport.vc_busy
+            for ovc in range(n_vcs):
+                self.ovc_mask3[ovc // oport.vcs_per_vnet, orow, ovc] = True
+            # bind the port's mirror hooks: the three scalar mutation
+            # sites (allocate / consume_credit / return_credit) write
+            # through to the global arrays, while the port's own lists
+            # stay plain Python for every reader
+            oport._obase = orow * vmax
+            oport._acred = self.credits_flat
+            oport._abusy = self.busy_flat
+
+    def _build_links(self, net) -> None:
+        np = _np
+        links = sorted(net.links, key=lambda lk: lk._order)
+        self.links_by_order = links
+        self.link_due = np.full(len(links), _NEVER, np.int64)
+        for link in links:
+            link._vec_due = self.link_due
+            dues = [t[0] for t in link._flits] + [t[0] for t in link._credits]
+            if dues:
+                self.link_due[link._order] = min(dues)
+
+    def resync_router(self, r) -> None:
+        """Re-derive one router's array state from its objects.
+
+        Covers state *planted* directly into buffers or credit lists
+        (tests, diagnostics) instead of arriving through the mutation
+        sites that carry the mirror hooks.  :meth:`Router.wake` — already
+        the documented requirement after planting state — calls this."""
+        for iport in r.in_ports.values():
+            for vc in iport.vcs:
+                cell = vc._cell
+                self.vc_len[cell] = len(vc.queue)
+                if vc.queue:
+                    head = vc.queue[0]
+                    self.head_due[cell] = head.arrival_cycle + vc._dly
+                    self.head_need[cell] = head.packet.size
+                else:
+                    self.head_due[cell] = _NEVER
+                op = vc._out_port
+                self.out_port_a[cell] = -1 if op is None else int(op)
+                self.out_vc_a[cell] = vc._out_vc
+                self.tagged[cell] = vc._popup_tagged
+        for oport in r.out_ports.values():
+            b = oport._obase
+            if b < 0:
+                continue
+            n_vcs = len(oport.credits)
+            self.credits_flat[b : b + n_vcs] = oport.credits
+            self.busy_flat[b : b + n_vcs] = oport.vc_busy
+
+    def verify_mirrors(self) -> List[str]:
+        """Cross-check every mirror array against its backing objects.
+
+        Used by the invariant sanitizer's deep sweep: the write-through
+        hooks are only correct if they cover *every* mutation site, so
+        this re-derives the expected array state from the object state
+        and reports any divergence (empty list = coherent)."""
+        problems: List[str] = []
+        vmax = self.vmax
+        for row, iport in enumerate(self.row_iport):
+            r = self.row_router[row]
+            port = self.row_port[row]
+            for vc in iport.vcs:
+                cell = row * vmax + vc.vc_index
+                where = f"router {r.rid} {port.name} vc{vc.vc_index}"
+                if self.vc_len[cell] != len(vc.queue):
+                    problems.append(
+                        f"{where}: vc_len={self.vc_len[cell]} "
+                        f"!= {len(vc.queue)}"
+                    )
+                due = (
+                    vc.queue[0].arrival_cycle + vc._dly if vc.queue else _NEVER
+                )
+                if self.head_due[cell] != due:
+                    problems.append(
+                        f"{where}: head_due={self.head_due[cell]} != {due}"
+                    )
+                op = -1 if vc._out_port is None else int(vc._out_port)
+                if self.out_port_a[cell] != op:
+                    problems.append(
+                        f"{where}: out_port={self.out_port_a[cell]} != {op}"
+                    )
+                if self.out_vc_a[cell] != vc._out_vc:
+                    problems.append(
+                        f"{where}: out_vc={self.out_vc_a[cell]} "
+                        f"!= {vc._out_vc}"
+                    )
+                if bool(self.tagged[cell]) != vc._popup_tagged:
+                    problems.append(
+                        f"{where}: tagged={bool(self.tagged[cell])} "
+                        f"!= {vc._popup_tagged}"
+                    )
+        for r in self.net.routers.values():
+            for port, oport in r.out_ports.items():
+                b = oport._obase
+                if b < 0:
+                    continue
+                n_vcs = len(oport.credits)
+                if list(self.credits_flat[b : b + n_vcs]) != oport.credits:
+                    problems.append(
+                        f"router {r.rid} {port.name}: credits "
+                        f"{self.credits_flat[b:b + n_vcs].tolist()} "
+                        f"!= {oport.credits}"
+                    )
+                if [bool(x) for x in self.busy_flat[b : b + n_vcs]] != list(
+                    oport.vc_busy
+                ):
+                    problems.append(
+                        f"router {r.rid} {port.name}: vc_busy mirrors diverge"
+                    )
+        for link in self.links_by_order:
+            dues = [t[0] for t in link._flits] + [t[0] for t in link._credits]
+            due = min(dues) if dues else _NEVER
+            if self.link_due[link._order] > due:
+                # the mirror may under-promise (an early slot that already
+                # drained is re-derived lazily) but must never miss a due
+                # payload
+                problems.append(
+                    f"link {link.src}->{link.dst}: due mirror "
+                    f"{self.link_due[link._order]} past earliest {due}"
+                )
+        return problems
+
+    def adopt_scheme_state(self) -> None:
+        """Record scheme attachments (popup units) made after construction."""
+        vmax = self.vmax
+        self.upp_routers = []
+        for row, r in enumerate(self.row_router):
+            if r.upp is not None and (not self.upp_routers or
+                                      self.upp_routers[-1] is not r):
+                self.upp_routers.append(r)
+            if r.upp is not None:
+                lo = row * vmax
+                self.cell_upp[lo:lo + vmax] = True
+
+    # ------------------------------------------------------------------ #
+    # per-cycle phases (called by Network._step_vector)
+
+    def deliver(self, cycle: int) -> None:
+        """Drain every link whose earliest payload is due.
+
+        One array compare replaces the busy-set sweep; the scalar
+        per-link drain is reused so every receive-side effect (signal
+        accounting, scheme absorption, NI wakes) stays identical."""
+        due = self.link_due
+        ready = _np.nonzero(due <= cycle)[0]
+        if not len(ready):
+            return
+        links = self.links_by_order
+        deliver_one = self.net._deliver_one
+        for order in ready.tolist():
+            link = links[order]
+            deliver_one(link, cycle)
+            flits = link._flits
+            credits = link._credits
+            next_due = flits[0][0] if flits else _NEVER
+            if credits and credits[0][0] < next_due:
+                next_due = credits[0][0]
+            due[order] = next_due
+
+    def switch_phase(self, cycle: int) -> None:
+        """Switch allocation for the whole network (see module docstring)."""
+        np = _np
+        net = self.net
+        vmax = self.vmax
+
+        # 1. scalar-path routers: woken routers whose pending work the
+        #    arrays cannot express (signals, popups, boundary buffers,
+        #    tagged circuits, an ACTIVE_LOCAL popup transmission).  The
+        #    rest of the active set is dropped — the arrays cover them.
+        active = net._active_routers
+        python_rids: List[int] = []
+        if active:
+            for rid in sorted(active):
+                r = active[rid]
+                if (
+                    r.sig_req_stop
+                    or r.sig_ack
+                    or r._popup_in
+                    or (r.rc_unit is not None and r.rc_unit.occupancy() > 0)
+                    or (r.upp_tables is not None and r.upp_tables.has_state())
+                    or (r.upp is not None and r.upp.has_active_local())
+                ):
+                    python_rids.append(rid)
+                else:
+                    del active[rid]
+                    r._queued = False
+        python_set = set(python_rids)
+
+        # 2. reset upward-stall observability flags (the scalar step does
+        #    this at entry; sleeping routers' stale flags are never read)
+        n_vnets = self.n_vnets
+        for r in self.upp_routers:
+            sent, stalled = r.sent_up, r.stalled_up
+            for v in range(n_vnets):
+                sent[v] = False
+                stalled[v] = False
+
+        # 3. candidate cells: occupied, head past its SA-eligibility cycle,
+        #    not reserved for a popup circuit.  Everything below operates
+        #    on this (small) index set rather than the full cell arrays —
+        #    at these network sizes per-op numpy overhead dominates, so
+        #    fewer/smaller ops beat clever full-array masking.
+        cand = self.head_due <= cycle
+        cand &= ~self.tagged
+        for rid in python_set:
+            lo, hi = self.cell_span[rid]
+            cand[lo:hi] = False
+        ci = np.nonzero(cand)[0]
+        grants_by_rid: Dict[int, List[Tuple[int, int]]] = {}
+        if len(ci):
+            # 4. lazy route computation, exactly where the scalar scan would
+            op_s = self.out_port_a[ci]
+            unrouted = np.nonzero(op_s < 0)[0]
+            if len(unrouted):
+                row_router, row_iport, row_port = (
+                    self.row_router, self.row_iport, self.row_port,
+                )
+                for cell in ci[unrouted].tolist():
+                    row, vc_idx = divmod(cell, vmax)
+                    vc = row_iport[row].vcs[vc_idx]
+                    flit = vc.queue[0]
+                    vc.out_port = row_router[row].route(
+                        row_port[row], flit.packet.dst, flit.packet.src
+                    )
+                op_s = self.out_port_a[ci]  # mirrors now hold the routes
+
+            # 5. blocked verdicts for all candidates at once
+            orow_s = self.outrow_flat[self.cell_rbase[ci] + op_s]
+            ovc_s = self.out_vc_a[ci]
+            body_s = ovc_s >= 0
+            blocked = (
+                self.credits_flat[orow_s * vmax + np.where(body_s, ovc_s, 0)]
+                <= 0
+            )
+            if not body_s.all():
+                # header flits need a free+credited output VC in their vnet
+                hdr = np.nonzero(~body_s)[0]
+                free2d = ~self.busy2d & (self.credits2d > 0)
+                ho = orow_s[hdr]
+                hdr_free = (
+                    free2d[ho] & self.ovc_mask3[self.cell_vnet[ci[hdr]], ho]
+                ).any(axis=1)
+                blocked[hdr] = ~hdr_free
+                if self.any_vct:
+                    # virtual cut-through admits a header only when the
+                    # whole packet fits; re-derive those few verdicts from
+                    # the objects
+                    for sel in np.nonzero(self.vct_cell[ci] & ~body_s)[0]:
+                        cell = int(ci[sel])
+                        row, vc_idx = divmod(cell, vmax)
+                        vc = self.row_iport[row].vcs[vc_idx]
+                        oport = self.row_router[row].out_ports[vc.out_port]
+                        blocked[sel] = not oport.free_vcs(
+                            vc.vnet, vc.queue[0].packet.size
+                        )
+
+            # 6. upward-stall observability (UPP detection inputs); only
+            #    cells of routers that carry a popup unit are ever read
+            if self.upp_routers:
+                stall = blocked & ((op_s == _UP) | (op_s == _UP2))
+                stall &= self.cell_upp[ci]
+                if stall.any():
+                    cell_vnet_l = self.cell_vnet_l
+                    for cell in ci[stall].tolist():
+                        self.row_router[cell // vmax].stalled_up[
+                            cell_vnet_l[cell]
+                        ] = True
+
+            # 7. input-stage arbitration through the routers' real round-
+            #    robin arbiters (their pointers must advance exactly as in
+            #    the scalar sweep), grouped per router in row order
+            reqcells = ci[~blocked].tolist()
+            i, n = 0, len(reqcells)
+            while i < n:
+                base = reqcells[i] - (reqcells[i] % vmax)
+                limit = base + vmax
+                j = i + 1
+                while j < n and reqcells[j] < limit:
+                    j += 1
+                row = base // vmax
+                r = self.row_router[row]
+                r.energy.sa_arbitrations += 1
+                granted = r._in_arbiters[self.row_port[row]].grant_from(
+                    [c - base for c in reqcells[i:j]]
+                )
+                grants_by_rid.setdefault(r.rid, []).append((row, granted))
+                i = j
+
+        # 8. execute in ascending router order, interleaving scalar-path
+        #    steps so RNG consumption and arbiter updates keep the legacy
+        #    order (routers never observe each other within a cycle, so
+        #    only these side-effect streams constrain the interleave)
+        stepped = net.stepped_routers
+        if python_rids:
+            order = sorted(python_set | grants_by_rid.keys())
+        else:
+            order = list(grants_by_rid)  # inserted in ascending rid order
+        routers = net.routers
+        for rid in order:
+            if rid in python_set:
+                r = routers[rid]
+                r.step(cycle)
+                stepped.append(r)
+                if not r._dirty:
+                    del active[rid]
+                    r._queued = False
+            else:
+                self._finish_router(routers[rid], grants_by_rid[rid], cycle)
+
+        # 9. UPP stall/progress observations for vector-path routers (the
+        #    scalar step reports its own inside _switch_allocation)
+        for r in self.upp_routers:
+            if r.rid in python_set:
+                continue
+            upp = r.upp
+            sent, stalled = r.sent_up, r.stalled_up
+            for v in range(n_vnets):
+                upp.observe(v, stalled[v], sent[v])
+
+    def _finish_router(
+        self, r, grants: List[Tuple[int, int]], cycle: int
+    ) -> None:
+        """Output-stage arbitration + traversal for one vector-path router,
+        reproducing the scalar nomination order: grants arrive in input-
+        port scan order, so first-nomination dict order matches."""
+        r._used_in.clear()
+        r._used_out.clear()
+        row_iport, row_port = self.row_iport, self.row_port
+        nominations: Dict[Port, List] = {}
+        for row, vc_idx in grants:
+            vc = row_iport[row].vcs[vc_idx]
+            contenders = nominations.get(vc._out_port)
+            if contenders is None:
+                nominations[vc._out_port] = [(row_port[row], vc)]
+            else:
+                contenders.append((row_port[row], vc))
+        for out_port, contenders in nominations.items():
+            if len(contenders) == 1:
+                in_port, vc = contenders[0]
+            else:
+                arbiter = r._out_arbiters.setdefault(
+                    out_port, RoundRobinArbiter(_N_PORTS)
+                )
+                winner = arbiter.grant_from(int(p) for p, _vc in contenders)
+                in_port, vc = next(
+                    (p, v) for p, v in contenders if int(p) == winner
+                )
+            r._traverse(in_port, vc, cycle)

@@ -52,7 +52,12 @@ class UPPScheme(DeadlockScheme):
                 router.upp_tables = ChipletCircuitTable(n_vnets, self.stats)
 
     def post_cycle(self, network, cycle: int) -> None:
-        if network.cfg.full_sweep:
+        if network.cfg.full_sweep or network.vector is not None:
+            # Full sweep ticks everything by definition.  The vector engine
+            # also ticks everything: its switch phase reports stall/progress
+            # observations for all popup routers each cycle, not just the
+            # scalar-stepped ones, and an idle unit's tick is a no-op, so
+            # this is bit-identical to the active-mode bookkeeping below.
             for router in self._popup_units:
                 router.upp.tick(router, cycle)
             return

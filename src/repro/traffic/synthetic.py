@@ -50,11 +50,34 @@ def transpose(index: int, n: int, rng: random.Random) -> int:
     return col * side + row
 
 
+#: fraction of hotspot-pattern packets aimed at a hot node.
+HOTSPOT_FRACTION = 0.3
+#: number of hot nodes (spread evenly over the logical index space).
+HOTSPOT_COUNT = 4
+
+
+def hotspot(index: int, n: int, rng: random.Random) -> int:
+    """Uniform random background with :data:`HOTSPOT_FRACTION` of packets
+    concentrated on :data:`HOTSPOT_COUNT` evenly spaced hot nodes — the
+    classic memory-controller-contention pattern.  Hot destinations
+    saturate their ejection bandwidth long before uniform traffic would,
+    producing deep tree-shaped congestion (the regime the vectorized
+    datapath core targets)."""
+    if rng.random() < HOTSPOT_FRACTION:
+        k = min(HOTSPOT_COUNT, n)
+        hot = (rng.randrange(k) * n) // k
+        if hot != index:
+            return hot
+        # a hot node never targets itself; fall through to background
+    return uniform_random(index, n, rng)
+
+
 PATTERNS: dict = {
     "uniform_random": uniform_random,
     "bit_complement": bit_complement,
     "bit_rotation": bit_rotation,
     "transpose": transpose,
+    "hotspot": hotspot,
 }
 
 
@@ -86,7 +109,7 @@ class SyntheticEndpoint(Endpoint):
             raise ValueError(f"injection rate {rate} out of range")
         if pattern not in PATTERNS:
             raise ValueError(f"unknown pattern {pattern!r}")
-        if pattern != "uniform_random":
+        if pattern not in ("uniform_random", "hotspot"):
             _require_power_of_two(len(nodes), pattern)
         self.index = index
         self.nodes = nodes

@@ -1,0 +1,171 @@
+"""Vectorized datapath vs scalar engines: bit-identical results.
+
+The struct-of-arrays datapath (PR "vectorized datapath core",
+``NocConfig.datapath="vector"``) must be behaviourally unobservable:
+every configuration produces exactly the same
+:func:`repro.metrics.stats.result_fingerprint` under all three per-cycle
+engines — vector, the scalar active-set core (``datapath="legacy"``) and
+the exhaustive full sweep (``full_sweep=True``, the reference
+semantics).  Coverage mirrors and extends the active-set equivalence
+suite (``test_active_set_determinism.py``):
+
+* every BENCH_core configuration (at smoke scale), via the bench
+  runners themselves so the benchmarked workloads are the tested ones;
+* every registered protection scheme under uniform-random load;
+* the UPP deadlock-recovery path and the unprotected deadlock outcome;
+* fault scenarios: statically injected fault sets and a mid-run
+  ``reconfigure_routing`` fault event replayed under every engine,
+  checked down to per-router energy counters.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import CONFIGS, MODES, engine_config
+from repro.metrics.stats import install_stats, result_fingerprint
+from repro.noc.config import NocConfig
+from repro.sim.experiment import make_scheme
+from repro.sim.presets import large_topology, table2_config, table2_upp_config
+from repro.sim.simulator import Simulation
+from repro.topology.chiplet import baseline_system, build_system
+from repro.topology.faults import inject_faults
+from repro.traffic.adversarial import install_adversarial_traffic, witness_flows
+from repro.traffic.synthetic import install_synthetic_traffic
+
+SCHEMES = ("upp", "composable", "remote_control", "none")
+
+BENCH_CONFIGS = [name for name, _d, _r in CONFIGS]
+
+
+class TestBenchConfigEquivalence:
+    """Every BENCH_core workload, run through the bench harness's own
+    runners at smoke scale, is engine-invariant."""
+
+    @pytest.mark.parametrize("name", BENCH_CONFIGS)
+    def test_bench_config_identical(self, name):
+        runner = next(r for n, _d, r in CONFIGS if n == name)
+        fps = {}
+        for mode in MODES:
+            _secs, result = runner(mode, True)
+            fps[mode] = result_fingerprint(result)
+        assert fps["legacy"] == fps["vector"]
+        assert fps["full_sweep"] == fps["vector"]
+        assert fps["vector"]["summary"]["packets"] > 0
+
+
+class TestSchemeEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_uniform_random_identical(self, scheme):
+        def run(mode):
+            cfg = engine_config(table2_config(), mode)
+            upp_cfg = table2_upp_config() if scheme == "upp" else None
+            sim = Simulation(large_topology(), cfg, make_scheme(scheme, upp_cfg))
+            install_synthetic_traffic(sim.network, "uniform_random", 0.04)
+            result = sim.run(200, 1000, allow_deadlock=(scheme == "none"))
+            return result_fingerprint(result)
+
+        vector = run("vector")
+        assert run("legacy") == vector
+        assert run("full_sweep") == vector
+        assert vector["summary"]["packets"] > 0
+
+    def test_upp_recovery_identical(self):
+        """Deadlock detection timers, popups and signal traffic must be
+        engine-invariant."""
+
+        def run(mode):
+            cfg = engine_config(NocConfig(vcs_per_vnet=1), mode)
+            sim = Simulation(
+                baseline_system(), cfg, make_scheme("upp", table2_upp_config()),
+                watchdog_window=2500,
+            )
+            install_adversarial_traffic(sim.network, witness_flows(sim.network))
+            return result_fingerprint(sim.run(warmup=0, measure=4000))
+
+        vector = run("vector")
+        assert run("legacy") == vector
+        assert run("full_sweep") == vector
+        assert vector["scheme_stats"]["upward_packets"] > 0
+
+    def test_unprotected_deadlock_outcome_identical(self):
+        """An unprotected run that deadlocks must deadlock at the same
+        cycle with the same final state under every engine."""
+
+        def run(mode):
+            cfg = engine_config(NocConfig(vcs_per_vnet=1), mode)
+            sim = Simulation(
+                baseline_system(), cfg, make_scheme("none"),
+                watchdog_window=500,
+            )
+            install_adversarial_traffic(sim.network, witness_flows(sim.network))
+            return result_fingerprint(
+                sim.run(warmup=0, measure=6000, allow_deadlock=True)
+            )
+
+        vector = run("vector")
+        legacy = run("legacy")
+        sweep = run("full_sweep")
+        assert legacy == vector
+        assert sweep == vector
+        assert vector["deadlocked"]
+        assert vector["deadlock_cycle"] == legacy["deadlock_cycle"]
+
+
+class TestFaultEquivalence:
+    @pytest.mark.parametrize("seed", (3, 23))
+    def test_static_fault_set_identical(self, seed):
+        """Statically injected fault sets (irregular up*/down* routing)
+        replay identically under every engine."""
+
+        def run(mode):
+            topo = build_system()
+            inject_faults(topo, 4, random.Random(seed))
+            cfg = engine_config(NocConfig(vcs_per_vnet=1), mode)
+            sim = Simulation(
+                topo, cfg, make_scheme("upp", table2_upp_config()),
+                watchdog_window=2500,
+            )
+            install_synthetic_traffic(sim.network, "uniform_random", 0.12)
+            return result_fingerprint(sim.run(warmup=300, measure=2500))
+
+        vector = run("vector")
+        assert run("legacy") == vector
+        assert run("full_sweep") == vector
+        assert vector["summary"]["packets"] > 0
+        assert not vector["deadlocked"]
+
+    def test_midrun_fault_reconfiguration_identical(self):
+        """A mid-run fault event (route caches dropped, routing rebuilt,
+        every component woken with traffic in flight) replays identically
+        — checked down to per-router energy counters.  The fault set is
+        chosen by :func:`inject_faults` with a seed known to keep every
+        in-flight packet routable after the rebuild."""
+
+        def run(mode):
+            topo = baseline_system()
+            cfg = engine_config(table2_config(), mode)
+            sim = Simulation(topo, cfg, make_scheme("upp", table2_upp_config()))
+            net = sim.network
+            stats = install_stats(net)
+            install_synthetic_traffic(net, "uniform_random", 0.05)
+            stats.begin_window(0)
+            net.run(400)
+            before = set(topo.faulty)
+            inject_faults(topo, 2, random.Random(11))
+            net.reconfigure_routing(topo.faulty - before)
+            net.run(800)
+            stats.end_window(net.cycle)
+            return {
+                "summary": stats.summary(net.cycle),
+                "cycle": net.cycle,
+                "occupancy": net.occupancy(),
+                "energy": {
+                    rid: r.energy.snapshot() for rid, r in net.routers.items()
+                },
+            }
+
+        vector = run("vector")
+        assert run("legacy") == vector
+        assert run("full_sweep") == vector
+        assert vector["summary"]["packets"] > 0

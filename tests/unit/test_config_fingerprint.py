@@ -69,6 +69,56 @@ class TestConfigRoundTrip:
         assert NocConfig().fingerprint() != UPPConfig().fingerprint()
 
 
+class TestNonSemanticFields:
+    """Engine selection must be invisible to the result-cache identity:
+    vector and legacy runs produce bit-identical results, so a cache
+    entry computed under either engine must be shared by both."""
+
+    def test_datapath_does_not_change_fingerprint(self):
+        base = NocConfig(datapath="vector")
+        assert (
+            dataclasses.replace(base, datapath="legacy").fingerprint()
+            == base.fingerprint()
+        )
+
+    def test_non_semantic_fields_lists_datapath(self):
+        assert "datapath" in NocConfig.NON_SEMANTIC_FIELDS
+
+    def test_datapath_survives_round_trip(self):
+        # excluded from the fingerprint, but still real config state that
+        # serialisation must preserve.
+        cfg = NocConfig(datapath="legacy")
+        clone = NocConfig.from_dict(cfg.to_dict())
+        assert clone.datapath == "legacy"
+        assert clone == cfg
+
+    def test_invalid_datapath_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="datapath"):
+            NocConfig(datapath="simd")
+
+    def test_env_default_selects_engine(self):
+        """REPRO_DATAPATH drives the default; explicit values win."""
+        script = (
+            "from repro.noc.config import NocConfig\n"
+            "print(NocConfig().datapath)\n"
+            "print(NocConfig(datapath='vector').datapath)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+                "REPRO_DATAPATH": "legacy",
+            },
+        )
+        assert proc.stdout.split() == ["legacy", "vector"]
+
+
 class TestCrossProcessStability:
     def test_fingerprint_stable_across_interpreters(self):
         """The cache key must not depend on hash randomisation or any

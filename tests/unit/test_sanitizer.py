@@ -109,6 +109,15 @@ class TestViolationsFire:
         with pytest.raises(InvariantViolation, match="credit conservation"):
             net.sanitizer.check_all()
 
+    def test_vector_mirror_divergence(self):
+        net = sanitized_net(datapath="vector")
+        if net.vector is None:
+            pytest.skip("vector engine unavailable (no numpy)")
+        vc = net.routers[0].in_ports[Port.LOCAL].vcs[0]
+        net.vector.vc_len[vc._cell] = 5  # corrupt the mirror directly
+        with pytest.raises(InvariantViolation, match="vector mirror"):
+            net.sanitizer.check_all()
+
     def test_duplicate_reservation_token(self):
         net = sanitized_net()
         net.nis[0].reservations[0] = 41
