@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check bench bench-figs bench-full examples examples-smoke lint clean
+.PHONY: install test check mc witness bench bench-figs bench-full examples examples-smoke lint clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -17,6 +17,17 @@ test-fast:
 check:
 	PYTHONPATH=src $(PYTHON) -m repro check --preset all --faults 2
 	$(PYTHON) tools/repro_lint.py src
+
+# bounded protocol model checker x certifier matrix, witness replayed
+# on the real simulator under both datapaths
+mc:
+	PYTHONPATH=src $(PYTHON) -m repro mc --replay
+
+# render counterexample witnesses: certifier SCC cycles as channel
+# chains, and the model checker's minimal deadlock trace
+witness:
+	PYTHONPATH=src $(PYTHON) -m repro check --preset baseline --witness
+	PYTHONPATH=src $(PYTHON) -m repro mc --preset mc-2x1 --scheme none
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --out -

@@ -8,6 +8,7 @@ Quick access to the library's main experiments without writing a script:
 * ``deadlock``  — provoke a certified deadlock and recover it with UPP
 * ``area``      — the Fig. 14 area-overhead table
 * ``check``     — static deadlock-freedom certification of a preset
+* ``mc``        — bounded model checking cross-validated against ``check``
 * ``cache``     — inspect / garbage-collect the experiment result cache
 
 ``sweep`` and ``workload`` orchestrate through :mod:`repro.api`: pass
@@ -189,6 +190,13 @@ def cmd_check(args) -> int:
     return run_check(args)
 
 
+def cmd_mc(args) -> int:
+    """Model-check the small presets; cross-validate against the certifier."""
+    from repro.analysis.cli import run_mc
+
+    return run_mc(args)
+
+
 def cmd_area(args) -> int:
     """Print the Fig. 14 area-overhead table."""
     from repro.metrics.area import baseline_router_area, figure14_table
@@ -302,7 +310,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2022)
     p.add_argument("--witnesses", type=int, default=0,
                    help="print up to N witness cycles / route defects")
+    p.add_argument("--witness", action="store_true",
+                   help="render witness cycles as concrete channel chains "
+                        "(implies --witnesses 5)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON (exit code still set)")
     p.set_defaults(fn=cmd_check)
+
+    from repro.analysis.mc import mc_preset_names
+
+    p = sub.add_parser(
+        "mc",
+        help="bounded model checking + certifier cross-validation",
+    )
+    p.add_argument(
+        "--preset", choices=tuple(mc_preset_names()) + ("all",), default="all"
+    )
+    p.add_argument(
+        "--scheme",
+        choices=tuple(scheme_names()) + ("all",),
+        default="all",
+    )
+    p.add_argument("--max-states", type=int, default=2_000_000,
+                   help="state-space exploration cap")
+    p.add_argument("--replay", action="store_true",
+                   help="replay counterexamples on the real simulator "
+                        "(vector and legacy datapaths, sanitized)")
+    p.add_argument("--select", action="store_true",
+                   help="re-derive the adversarial flow set instead of "
+                        "using the frozen preset flows")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON (exit code still set)")
+    p.set_defaults(fn=cmd_mc)
 
     p = sub.add_parser("bench", help="core wall-clock perf harness (BENCH_core.json)")
     p.add_argument("--smoke", action="store_true")

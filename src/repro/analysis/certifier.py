@@ -145,6 +145,42 @@ class Certificate:
             f") -> {'OK' if self.ok else 'FAIL'}"
         )
 
+    def to_dict(self, max_violations: int = 20) -> dict:
+        """JSON-able report entry (for ``repro check --json``)."""
+
+        def chain(cycle):
+            return [[rid, port.name] for rid, port in cycle]
+
+        return {
+            "scheme": self.scheme,
+            "expectation": self.expectation,
+            "verdict": self.verdict,
+            "ok": self.ok,
+            "n_routers": self.n_routers,
+            "n_faulty_links": self.n_faulty_links,
+            "n_channels": self.n_channels,
+            "n_dependencies": self.n_dependencies,
+            "cyclic": self.cyclic,
+            "n_cyclic_sccs": self.n_cyclic_sccs,
+            "largest_scc": self.largest_scc,
+            "all_cycles_upward": self.all_cycles_upward,
+            "witness_cycles": [chain(c) for c in self.witness_cycles],
+            "non_upward_witness": (
+                chain(self.non_upward_witness)
+                if self.non_upward_witness is not None
+                else None
+            ),
+            "totality": {
+                "ok": self.totality.ok,
+                "routes_checked": self.totality.routes_checked,
+                "max_route_hops": self.totality.max_route_hops,
+                "n_violations": len(self.totality.violations),
+                "violations": [
+                    str(v) for v in self.totality.violations[:max_violations]
+                ],
+            },
+        }
+
 
 # --------------------------------------------------------------------- #
 # routing totality

@@ -1,7 +1,7 @@
-"""The ``python -m repro check`` command.
+"""The ``python -m repro check`` and ``python -m repro mc`` commands.
 
-Certifies a preset (topology x Table II configuration) under each
-deadlock-handling scheme:
+``check`` certifies a preset (topology x Table II configuration) under
+each deadlock-handling scheme:
 
 * **composable** must produce an *acyclic* restricted CDG (its deadlock
   avoidance is global, Sec. III-C);
@@ -17,14 +17,34 @@ reconfigured via ``Network.reconfigure_routing``, and the rebuilt routing
 is certified again — the static guarantee must survive runtime
 reconfiguration.  Composable routing cannot reconfigure around faults *by
 design* (it rejects faulty topologies); the check verifies that refusal
-instead of certifying.
+instead of certifying.  ``--json`` emits the whole report as one JSON
+document (exit code still signals failure); ``--witness`` renders every
+certifier SCC cycle as a concrete channel chain in the model checker's
+notation (upward vertical channels marked ``^``).
+
+``mc`` cross-validates the certifier against the bounded model checker
+(:mod:`repro.analysis.mc`) on the exhaustively explorable presets: for
+every registered scheme the certificate must match its CDG expectation
+*and* the explored state space must match the scheme's deadlock-freedom
+claim — proof by exhaustion (zero deadlock states + delivery liveness)
+when claimed free, a minimal counterexample trace when not.
 """
 
 from __future__ import annotations
 
+import json
 import random
 
 from repro.analysis.certifier import certify, certify_network
+from repro.analysis.mc import (
+    MC_PRESETS,
+    build_mc_network,
+    format_chain,
+    mc_preset_names,
+    model_check,
+    replay_witness,
+    select_flows,
+)
 from repro.noc.network import Network
 from repro.schemes.registry import make_scheme, scheme_names
 from repro.sim.presets import SYSTEM_PRESETS, table2_config, table2_upp_config
@@ -42,17 +62,17 @@ PRESETS = {
 SCHEMES = scheme_names()
 
 
-def _print_witness(cert, limit: int) -> None:
+def _silent(line: str) -> None:
+    pass
+
+
+def _print_witness(cert, limit: int, topo=None, log=print) -> None:
     for cycle in cert.witness_cycles[:limit]:
-        hops = " -> ".join(f"({rid},{port.name})" for rid, port in cycle)
-        print(f"      cycle: {hops}")
+        log(f"      cycle: {format_chain(cycle, topo)}")
     if cert.non_upward_witness is not None:
-        hops = " -> ".join(
-            f"({rid},{port.name})" for rid, port in cert.non_upward_witness
-        )
-        print(f"      NON-UPWARD cycle: {hops}")
+        log(f"      NON-UPWARD cycle: {format_chain(cert.non_upward_witness, topo)}")
     for violation in cert.totality.violations[:limit]:
-        print(f"      route defect: {violation}")
+        log(f"      route defect: {violation}")
 
 
 def check_preset(
@@ -61,29 +81,38 @@ def check_preset(
     faults: int = 0,
     seed: int = 2022,
     witnesses: int = 0,
+    report=None,
+    log=print,
 ) -> bool:
     """Certify one preset under each scheme; returns True when every
-    certificate matches its scheme's expectation."""
+    certificate matches its scheme's expectation.  ``report`` (a list)
+    collects JSON-able entries when given."""
     factory, vcs = PRESETS[preset]
     cfg = table2_config(vcs)
     all_ok = True
-    print(f"preset '{preset}': {factory().n_routers} routers, {vcs} VC(s)/VNet")
+    log(f"preset '{preset}': {factory().n_routers} routers, {vcs} VC(s)/VNet")
     for name in schemes:
         scheme = make_scheme(name, upp_cfg=table2_upp_config())
-        cert = certify(factory(), cfg, scheme)
+        topo = factory()
+        cert = certify(topo, cfg, scheme)
         all_ok &= cert.ok
-        print(f"  {cert.summary()}")
+        log(f"  {cert.summary()}")
         if witnesses and (cert.cyclic or not cert.totality.ok):
-            _print_witness(cert, witnesses)
+            _print_witness(cert, witnesses, topo, log)
+        if report is not None:
+            report.append(
+                {"preset": preset, "faults": 0, **cert.to_dict()}
+            )
         if faults:
             all_ok &= _check_after_faults(
-                factory, cfg, name, faults, seed, witnesses
+                factory, cfg, name, faults, seed, witnesses, report, log
             )
     return all_ok
 
 
 def _check_after_faults(
-    factory, cfg, name: str, faults: int, seed: int, witnesses: int
+    factory, cfg, name: str, faults: int, seed: int, witnesses: int,
+    report=None, log=print,
 ) -> bool:
     """Replay a runtime fault event and re-certify the rebuilt routing."""
     if name == "composable":
@@ -96,15 +125,35 @@ def _check_after_faults(
         try:
             scheme.build_routing(topo, cfg, random.Random(cfg.seed))
         except ValueError:
-            print(
+            log(
                 f"  {name}: +{faults} fault(s) -> rejects faulty topology "
                 f"by design -> OK"
             )
+            if report is not None:
+                report.append(
+                    {
+                        "preset": None,
+                        "faults": faults,
+                        "scheme": name,
+                        "verdict": "rejects-faulty-topology",
+                        "ok": True,
+                    }
+                )
             return True
-        print(
+        log(
             f"  {name}: +{faults} fault(s) -> accepted a faulty topology "
             f"it cannot certify -> FAIL"
         )
+        if report is not None:
+            report.append(
+                {
+                    "preset": None,
+                    "faults": faults,
+                    "scheme": name,
+                    "verdict": "accepted-faulty-topology",
+                    "ok": False,
+                }
+            )
         return False
     topo = factory()
     scheme = make_scheme(name, upp_cfg=table2_upp_config())
@@ -114,9 +163,11 @@ def _check_after_faults(
     new_pairs = topo.faulty - before
     network.reconfigure_routing(new_pairs)
     cert = certify_network(network)
-    print(f"  {cert.summary().replace(':', f' +{faults} fault(s):', 1)}")
+    log(f"  {cert.summary().replace(':', f' +{faults} fault(s):', 1)}")
     if witnesses and (cert.cyclic or not cert.totality.ok):
-        _print_witness(cert, witnesses)
+        _print_witness(cert, witnesses, topo, log)
+    if report is not None:
+        report.append({"preset": None, "faults": faults, **cert.to_dict()})
     return cert.ok
 
 
@@ -124,6 +175,12 @@ def run_check(args) -> int:
     """Entry point for the ``check`` subcommand (returns the exit code)."""
     presets = list(PRESETS) if args.preset == "all" else [args.preset]
     schemes = SCHEMES if args.scheme == "all" else (args.scheme,)
+    as_json = getattr(args, "json", False)
+    witnesses = args.witnesses
+    if getattr(args, "witness", False) and not witnesses:
+        witnesses = 5
+    log = _silent if as_json else print
+    report = [] if as_json else None
     ok = True
     for preset in presets:
         ok &= check_preset(
@@ -131,7 +188,103 @@ def run_check(args) -> int:
             schemes=schemes,
             faults=args.faults,
             seed=args.seed,
-            witnesses=args.witnesses,
+            witnesses=witnesses,
+            report=report,
+            log=log,
         )
-    print("certification: " + ("OK" if ok else "FAILED"))
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "schema": "repro-check/v1",
+                    "presets": presets,
+                    "schemes": list(schemes),
+                    "faults": args.faults,
+                    "seed": args.seed,
+                    "certificates": report,
+                    "ok": ok,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print("certification: " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+# --------------------------------------------------------------------- #
+# the mc subcommand
+
+
+def run_mc(args) -> int:
+    """Entry point for the ``mc`` subcommand (returns the exit code)."""
+    presets = (
+        list(mc_preset_names()) if args.preset == "all" else [args.preset]
+    )
+    schemes = SCHEMES if args.scheme == "all" else (args.scheme,)
+    as_json = getattr(args, "json", False)
+    log = _silent if as_json else print
+    report = []
+    ok = True
+    for preset in presets:
+        spec = MC_PRESETS[preset]
+        network = build_mc_network(preset, "none")
+        flows = list(spec.flows)
+        if getattr(args, "select", False):
+            log(f"preset '{preset}': re-deriving the adversarial flow set")
+            flows = select_flows(network, log=lambda s: log(f"  {s}"))
+        log(
+            f"preset '{preset}': topology {spec.topology} "
+            f"({network.topo.n_routers} routers), {len(flows)} flows"
+        )
+        for name in schemes:
+            cert = certify_network(build_mc_network(preset, name))
+            result = model_check(
+                preset, name, max_states=args.max_states, flows=flows
+            )
+            agree = cert.ok and result.ok
+            ok &= agree
+            log(f"  certifier: {cert.summary()}")
+            log(f"  mc:        {result.summary()}")
+            if result.witness is not None and not as_json:
+                net = build_mc_network(preset, name)
+                semantics = getattr(net.scheme, "mc_semantics", "base")
+                from repro.analysis.mc import ProtocolModel
+
+                model = ProtocolModel(net, result.flows, semantics)
+                for line in result.witness.render(model):
+                    log(f"    {line}")
+            if result.witness is not None and getattr(args, "replay", False):
+                for datapath in ("vector", "legacy"):
+                    outcome = replay_witness(
+                        preset, result.flows, datapath=datapath
+                    )
+                    result.replay = result.replay or {}
+                    result.replay[datapath] = outcome
+                    log(
+                        f"    replay [{datapath}, sanitized]: deadlock at "
+                        f"cycle {outcome['deadlock_cycle']} "
+                        f"({outcome['n_deadlocked_packets']} packets)"
+                    )
+            row = result.to_dict()
+            row["certifier_ok"] = cert.ok
+            row["certifier_verdict"] = cert.verdict
+            row["agree"] = agree
+            report.append(row)
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "schema": "repro-mc/v1",
+                    "presets": presets,
+                    "schemes": list(schemes),
+                    "max_states": args.max_states,
+                    "results": report,
+                    "ok": ok,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print("model checking: " + ("OK" if ok else "FAILED"))
     return 0 if ok else 1

@@ -368,6 +368,12 @@ def run_core_bench(
         numpy_version = numpy.__version__
     except ImportError:  # pragma: no cover - numpy is a hard dependency
         numpy_version = None
+    if numpy_version is None:  # pragma: no cover - numpy is a hard dependency
+        log(
+            f"{'datapath':>20}: numpy unavailable — "
+            f'datapath="vector" degraded to the legacy scalar core '
+            f"(vector timings above measure the fallback, not the engine)"
+        )
     saturated = [r for r in rows if r["name"] in SATURATED_CONFIGS]
     report: Dict[str, object] = {
         "schema": "repro-bench-core/v2",
@@ -385,6 +391,7 @@ def run_core_bench(
         "datapath": {
             "default_engine": "vector",
             "numpy": numpy_version,
+            "vector_fallback": numpy_version is None,
             "saturated_configs": [r["name"] for r in saturated],
             "saturated_vector_speedup_vs_full_sweep": {
                 r["name"]: r["vector_speedup_vs_full_sweep"] for r in saturated

@@ -13,6 +13,7 @@ from collections import deque
 from typing import Optional
 
 from repro.noc.flit import Flit, Port
+from repro.noc.mirror import mirror_hook
 
 #: sentinel "no head flit" eligibility cycle for the vector-engine
 #: mirror arrays (far beyond any reachable simulation cycle).
@@ -49,6 +50,7 @@ class VirtualChannel:
         "_dly",    # owning router's SA eligibility delay
     )
 
+    @mirror_hook
     def __init__(self, vnet: int, vc_index: int, depth: int, port=None):
         self.vnet = vnet
         #: global VC index within the input port (across all VNets).
@@ -86,6 +88,7 @@ class VirtualChannel:
         return self._out_port
 
     @out_port.setter
+    @mirror_hook
     def out_port(self, value: Optional[Port]) -> None:
         self._out_port = value
         c = self._cell
@@ -97,6 +100,7 @@ class VirtualChannel:
         return self._out_vc
 
     @out_vc.setter
+    @mirror_hook
     def out_vc(self, value: int) -> None:
         self._out_vc = value
         c = self._cell
@@ -108,6 +112,7 @@ class VirtualChannel:
         return self._popup_tagged
 
     @popup_tagged.setter
+    @mirror_hook
     def popup_tagged(self, value: bool) -> None:
         self._popup_tagged = value
         c = self._cell
@@ -128,6 +133,7 @@ class VirtualChannel:
         """The flit at the head of the queue, if any."""
         return self.queue[0] if self.queue else None
 
+    @mirror_hook
     def push(self, flit: Flit, cycle: int) -> None:
         """Buffer write.  Allocates the VC to the packet on a header flit."""
         if len(self.queue) >= self.depth:
@@ -158,6 +164,7 @@ class VirtualChannel:
                 self._adue[c] = cycle + self._dly
                 self._aneed[c] = flit.packet.size
 
+    @mirror_hook
     def pop(self) -> Flit:
         """Remove the front flit; resets the VC to IDLE after the tail."""
         flit = self.queue.popleft()
@@ -242,6 +249,7 @@ class OutputPort:
         "_abusy",  # global VC-allocation array
     )
 
+    @mirror_hook
     def __init__(self, port: Port, n_vnets: int, vcs_per_vnet: int, depth: int):
         self.port = port
         self.n_vnets = n_vnets
@@ -270,6 +278,7 @@ class OutputPort:
             if not self.vc_busy[vc] and self.credits[vc] >= need
         ]
 
+    @mirror_hook
     def allocate(self, vc: int, owner_pid: int = -1) -> None:
         """Reserve an output VC for one packet (the VCS stage)."""
         if self.vc_busy[vc]:
@@ -280,6 +289,7 @@ class OutputPort:
         if b >= 0:
             self._abusy[b + vc] = True
 
+    @mirror_hook
     def consume_credit(self, vc: int) -> None:
         """Spend one downstream buffer slot (flit departure)."""
         credits = self.credits
@@ -290,6 +300,7 @@ class OutputPort:
         if b >= 0:
             self._acred[b + vc] -= 1
 
+    @mirror_hook
     def return_credit(self, vc: int, vc_free: bool) -> None:
         """Credit return; ``vc_free`` also releases the VC allocation."""
         self.credits[vc] += 1

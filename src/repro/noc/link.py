@@ -17,6 +17,7 @@ from collections import deque
 from typing import Optional
 
 from repro.noc.flit import OPPOSITE, Port
+from repro.noc.mirror import mirror_hook
 
 
 class Link:
@@ -48,6 +49,7 @@ class Link:
     #: delivery-dispatch categories used by the network scheduler.
     ROUTER, NI_UP, NI_DOWN = range(3)
 
+    @mirror_hook
     def __init__(
         self,
         src: int,
@@ -85,6 +87,7 @@ class Link:
             self._busy = True
             self._sched.wake_link(self)
 
+    @mirror_hook
     def send_flit(self, flit, out_vc: int, cycle: int) -> None:
         """Enqueue a flit departing the upstream switch at ``cycle`` (ST);
         it is buffer-written downstream at ``cycle + latency`` (LT)."""
@@ -104,6 +107,7 @@ class Link:
                 self._busy = True
                 sched.wake_link(self)
 
+    @mirror_hook
     def send_credit(self, credit, cycle: int) -> None:
         """Send a credit upstream (same latency as the data path)."""
         due = cycle + self.latency
@@ -115,6 +119,7 @@ class Link:
             self._busy = True
             self._sched.wake_link(self)
 
+    @mirror_hook
     def deliver_flits(self, cycle: int):
         """Yield ``(flit, out_vc)`` pairs whose latency has elapsed."""
         while self._flits and self._flits[0][0] <= cycle:
@@ -123,6 +128,7 @@ class Link:
                 self._sched.note_signal_left_link()
             yield flit, out_vc
 
+    @mirror_hook
     def deliver_credits(self, cycle: int):
         """Yield credits whose latency has elapsed."""
         while self._credits and self._credits[0][0] <= cycle:

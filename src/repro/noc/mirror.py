@@ -1,0 +1,47 @@
+"""The ``@mirror_hook`` marker for vector-mirror write-through sites.
+
+The vector datapath (:mod:`repro.noc.vector`) keeps numpy mirrors of a
+small set of scalar attributes — VC route/allocation state, output-port
+credits, link delivery timestamps.  Correctness of the engine's batch
+scans rests on one invariant: **every** mutation of a mirrored attribute
+flows through a write-through hook that updates the object attribute and
+the engine array together (the property setters and mutator methods in
+:mod:`repro.noc.buffer`, :mod:`repro.noc.link` and the network's link
+drain).  A raw ``obj._attr = ...`` anywhere else silently desynchronises
+the arrays — the class of bug the ``REPRO_SANITIZE=1`` cross-checks
+exist to catch at runtime.
+
+``mirror_hook`` is a no-op at runtime; it exists so the sanctioned
+mutation sites are *declared in the source*, where the repo lint's R004
+dataflow pass (``tools/repro_lint.py``) can verify the invariant
+statically: inside ``repro.noc`` / ``repro.schemes``, any write to a
+mirror-backed attribute outside a ``@mirror_hook``-decorated function is
+a lint violation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+def mirror_hook(func: F) -> F:
+    """Mark ``func`` as a sanctioned mirror write-through site (no-op)."""
+    return func
+
+
+#: attributes with a numpy mirror; assignments outside a hook are R004
+#: violations.  Kept next to the decorator so the lint and the engine
+#: share one source of truth.
+MIRRORED_ATTRS = frozenset(
+    {
+        # VirtualChannel scalar state + per-cell engine bindings
+        "_out_port", "_out_vc", "_popup_tagged",
+        "_cell", "_alen", "_adue", "_aneed", "_aop", "_aovc", "_atag",
+        # OutputPort credit/allocation state + engine bindings
+        "credits", "vc_busy", "_obase", "_acred", "_abusy",
+        # Link delivery queues + engine binding
+        "_flits", "_credits", "_vec_due",
+    }
+)

@@ -23,16 +23,36 @@ from __future__ import annotations
 
 import heapq
 import random
+import warnings
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.noc.config import NocConfig
 from repro.noc.flit import Port
 from repro.noc.link import Link
+from repro.noc.mirror import mirror_hook
 from repro.noc.ni import NetworkInterface
 from repro.noc.router import Router, RouterKind
 
 if TYPE_CHECKING:  # noc is the substrate: it must not import the system
     from repro.topology.chiplet import SystemTopology  # layers above it
+
+#: set after the first vector-fallback notice so a sweep constructing
+#: hundreds of networks warns exactly once per process.
+_warned_vector_fallback = False
+
+
+def _warn_vector_fallback() -> None:
+    global _warned_vector_fallback
+    if _warned_vector_fallback:
+        return
+    _warned_vector_fallback = True
+    warnings.warn(
+        'NocConfig.datapath="vector" requested but numpy is unavailable; '
+        "running on the legacy scalar core (bit-identical results, "
+        "substantially slower wall-clock)",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 class Network:
@@ -121,6 +141,8 @@ class Network:
             if HAVE_NUMPY:
                 self.vector = VectorEngine(self)
                 self.vector.adopt_scheme_state()
+            else:
+                _warn_vector_fallback()
 
         #: opt-in invariant sanitizer (``cfg.sanitize``); read-only, so
         #: enabling it cannot change simulation results.
@@ -370,6 +392,7 @@ class Network:
         for _ in range(cycles):
             self.step()
 
+    @mirror_hook
     def _deliver_one(self, link: Link, cycle: int) -> None:
         """Drain one link's due flits and credits into its endpoints.
 

@@ -62,6 +62,13 @@ class DeadlockScheme:
     #: other recovery/isolation baselines) relies on.  Avoidance schemes
     #: that restrict routing override this with ``"acyclic"``.
     cdg_expectation = "upward_cycles"
+    #: which transition semantics the bounded model checker
+    #: (:mod:`repro.analysis.mc`) uses for this scheme: ``"base"`` (plain
+    #: wormhole progress — no protocol help), ``"popup"`` (a worm blocked
+    #: on an occupied upward vertical channel is popped up and delivered,
+    #: Sec. IV), or ``"absorb"`` (slot-reserved injection plus boundary
+    #: buffers that never backpressure the vertical link, Sec. III-B).
+    mc_semantics = "base"
 
     def build_routing(
         self, topo: SystemTopology, cfg: NocConfig, rng: random.Random

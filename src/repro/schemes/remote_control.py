@@ -202,6 +202,7 @@ class RemoteControlScheme(DeadlockScheme):
     isolation."""
 
     name = "remote_control"
+    mc_semantics = "absorb"
 
     def __init__(self, n_slots: int = 6, handshake_rtt: int = 4, extra_pipeline_delay: int = 1):
         self.n_slots = n_slots

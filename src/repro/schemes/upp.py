@@ -24,6 +24,7 @@ class UPPScheme(DeadlockScheme):
     """Upward Packet Popup: the paper's deadlock-recovery framework."""
 
     name = "upp"
+    mc_semantics = "popup"
 
     def __init__(self, upp_cfg: Optional[UPPConfig] = None):
         self.cfg = upp_cfg if upp_cfg is not None else UPPConfig()

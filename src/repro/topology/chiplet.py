@@ -327,6 +327,39 @@ def large_system() -> SystemTopology:
     )
 
 
+def mc_2x1_system() -> SystemTopology:
+    """Smallest model-checkable system: a 1x2 interposer carrying two 4x1
+    column chiplets, boundary routers at both column ends.
+
+    The column shape makes every intra-chiplet route share the single
+    vertical mesh path, which is what glues entry->exit channel chains
+    into cycles — the same anatomy as the baseline's witness cycles, at a
+    state-space size a bounded model checker can exhaust.  Boundary
+    bindings are deterministic (no hop-distance ties), so the certifier
+    and the model checker see the identical routing function regardless
+    of seed.
+    """
+    return build_system(
+        interposer_shape=(1, 2),
+        chiplet_shape=(4, 1),
+        chiplet_grid=(1, 2),
+        boundary_coords=[(0, 0), (3, 0)],
+    )
+
+
+def mc_2x2_system() -> SystemTopology:
+    """Second model-checking preset: a 2x2 interposer mesh with four 4x1
+    column chiplets in a 2x2 grid — the smallest system whose *interposer*
+    layer is a 2D mesh, exercising interposer turns in the explored state
+    space while staying exhaustible."""
+    return build_system(
+        interposer_shape=(2, 2),
+        chiplet_shape=(4, 1),
+        chiplet_grid=(2, 2),
+        boundary_coords=[(0, 0), (3, 0)],
+    )
+
+
 def star_system(n_chiplets: int = 4) -> SystemTopology:
     """A passive-substrate star-like system (Sec. VI-B): a central I/O
     chiplet plays the role of the interposer.  Network-topologically this is

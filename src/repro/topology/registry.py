@@ -13,7 +13,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.topology.chiplet import SystemTopology, baseline_system, large_system
+from repro.topology.chiplet import (
+    SystemTopology,
+    baseline_system,
+    large_system,
+    mc_2x1_system,
+    mc_2x2_system,
+)
 
 TopologyFactory = Callable[[], SystemTopology]
 
@@ -59,3 +65,5 @@ def topology_name_of(factory: TopologyFactory) -> Optional[str]:
 
 register_topology("baseline", baseline_system)
 register_topology("large", large_system)
+register_topology("mc-2x1", mc_2x1_system)
+register_topology("mc-2x2", mc_2x2_system)

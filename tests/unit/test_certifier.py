@@ -186,3 +186,69 @@ class TestRecertification:
         inject_faults(topo, 1, random.Random(3))
         with pytest.raises(ValueError):
             Network(topo, NocConfig(), ComposableRoutingScheme())
+
+    def test_two_successive_reconfigurations_recertify(self):
+        """A second fault event re-certifies against the routing rebuilt
+        after the first one, not against the original tables."""
+        topo = baseline_system()
+        net = Network(topo, NocConfig(), UPPScheme())
+        certs = []
+        for seed in (11, 12):
+            before = set(topo.faulty)
+            inject_faults(topo, 1, random.Random(seed))
+            certs.append(recertify_after_faults(net, topo.faulty - before))
+        first, second = certs
+        assert first.ok and second.ok
+        assert second.verdict == VERDICT_UPWARD_ONLY
+        assert second.n_faulty_links == len(topo.faulty)
+        assert second.n_faulty_links > first.n_faulty_links > 0
+        # the live network really runs on the twice-rebuilt tables
+        assert certify_network(net).ok
+
+    def test_disconnected_destination_fails_totality_not_hangs(self):
+        """Failing every vertical link of one chiplet strands all routes
+        into/out of it; the totality walk must report dead ends and
+        terminate (bounded hop walk), not loop forever."""
+        topo = baseline_system()
+        net = Network(topo, NocConfig(), UPPScheme())
+        cut = {
+            (spec.src, spec.dst)
+            for spec in topo.links
+            if spec.src_port in (Port.UP, Port.UP2, Port.DOWN)
+            and (topo.chiplet_of[spec.src] == 0 or topo.chiplet_of[spec.dst] == 0)
+        }
+        assert cut, "baseline system must have chiplet-0 vertical links"
+        topo.faulty |= cut
+        cert = recertify_after_faults(net, cut)
+        assert not cert.ok
+        assert cert.verdict == VERDICT_UNSOUND
+        assert not cert.totality.ok
+        kinds = {v.kind for v in cert.totality.violations}
+        assert "dead-end" in kinds
+        # every stranded route involves the disconnected chiplet
+        assert len(cert.totality.violations) > 100
+
+
+class TestCertificateToDict:
+    def test_round_trips_through_json(self, upp_net):
+        import json
+
+        cert = certify_network(upp_net)
+        payload = json.loads(json.dumps(cert.to_dict()))
+        assert payload["scheme"] == "upp"
+        assert payload["ok"] is True
+        assert payload["verdict"] == VERDICT_UPWARD_ONLY
+        assert payload["totality"]["ok"] is True
+        assert payload["witness_cycles"]
+        # chains serialize as [[rid, port-name], ...]
+        rid, port_name = payload["witness_cycles"][0][0]
+        assert isinstance(rid, int) and isinstance(port_name, str)
+
+    def test_violations_capped(self, upp_net, monkeypatch):
+        monkeypatch.setattr(
+            upp_net, "routing", lambda router, in_port, dst, src: Port.LOCAL
+        )
+        cert = certify_network(upp_net)
+        payload = cert.to_dict(max_violations=3)
+        assert payload["totality"]["n_violations"] > 3
+        assert len(payload["totality"]["violations"]) == 3

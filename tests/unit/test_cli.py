@@ -115,3 +115,50 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "upp" in out and "composable" in out
+
+    def test_check_witness_and_json_flags(self):
+        args = build_parser().parse_args(["check", "--witness", "--json"])
+        assert args.witness is True
+        assert args.json is True
+        args = build_parser().parse_args(["check"])
+        assert args.witness is False and args.json is False
+
+    def test_mc_defaults(self):
+        args = build_parser().parse_args(["mc"])
+        assert args.preset == "all"
+        assert args.scheme == "all"
+        assert args.max_states == 2_000_000
+        assert args.replay is False
+        assert args.select is False
+        assert args.json is False
+
+    def test_mc_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mc", "--preset", "baseline"])
+
+    def test_mc_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mc", "--scheme", "magic"])
+
+
+class TestAnalysisCommands:
+    def test_check_json_machine_readable(self, capsys):
+        import json
+
+        assert main(["check", "--preset", "baseline", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-check/v1"
+        assert payload["ok"] is True
+        assert {c["scheme"] for c in payload["certificates"]} >= {"upp"}
+
+    def test_mc_single_scheme_json(self, capsys):
+        import json
+
+        assert main(["mc", "--preset", "mc-2x1", "--scheme", "upp", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-mc/v1"
+        assert payload["ok"] is True
+        (row,) = payload["results"]
+        assert row["agree"] is True
+        assert row["certifier_ok"] is True
+        assert row["explored_to_fixpoint"] is True

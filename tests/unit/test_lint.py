@@ -139,3 +139,89 @@ class TestWholeTree:
         bad.write_text("import random\nx = random.random()\n")
         assert lint_mod.main([str(bad), "--root", str(tmp_path)]) == 1
         assert "R001" in capsys.readouterr().out
+
+
+class TestMirrorWriteThrough:
+    def _found(self, lint_mod, source):
+        return lint_mod.check_mirror_writethrough(
+            "src/repro/noc/x.py", parse(source)
+        )
+
+    def test_raw_attribute_write_flagged(self, lint_mod):
+        found = self._found(lint_mod, """
+            def f(vc):
+                vc._out_port = None
+        """)
+        assert len(found) == 1
+        assert found[0].rule == "R004"
+
+    def test_subscript_write_flagged(self, lint_mod):
+        found = self._found(lint_mod, """
+            def f(oport):
+                oport.credits[2] -= 1
+        """)
+        assert len(found) == 1
+
+    def test_alias_mutation_flagged(self, lint_mod):
+        found = self._found(lint_mod, """
+            def f(link):
+                flits = link._flits
+                flits.popleft()
+        """)
+        assert len(found) == 1
+
+    def test_vc_queue_mutation_flagged(self, lint_mod):
+        found = self._found(lint_mod, """
+            def f(vc, flit):
+                vc.queue.append(flit)
+        """)
+        assert len(found) == 1
+
+    def test_non_vc_queue_receiver_allowed(self, lint_mod):
+        assert self._found(lint_mod, """
+            class PermissionController:
+                def enqueue(self, req):
+                    self.queue.append(req)
+        """) == []
+
+    def test_mirror_hook_sanctions_function(self, lint_mod):
+        assert self._found(lint_mod, """
+            from repro.noc.mirror import mirror_hook
+
+            @mirror_hook
+            def push(vc, flit):
+                vc._flits.append(flit)
+                vc._out_port = 3
+        """) == []
+
+    def test_public_property_write_allowed(self, lint_mod):
+        # the write-through lives in the property setter; callers may
+        # assign the public name freely
+        assert self._found(lint_mod, """
+            def f(vc):
+                vc.out_port = 3
+        """) == []
+
+    def test_alias_invalidated_by_reassignment(self, lint_mod):
+        assert self._found(lint_mod, """
+            def f(link):
+                flits = link._flits
+                flits = []
+                flits.append(1)
+        """) == []
+
+    def test_attr_set_matches_package(self, lint_mod):
+        from repro.noc.mirror import MIRRORED_ATTRS
+
+        assert set(lint_mod.R004_MIRRORED_ATTRS) == set(MIRRORED_ATTRS)
+
+    def test_exempt_files_skipped_by_lint(self, lint_mod, tmp_path):
+        bad = "def f(vc):\n    vc._out_port = None\n"
+        pkg = tmp_path / "repro" / "noc"
+        pkg.mkdir(parents=True)
+        (pkg / "vector.py").write_text(bad)  # the mirror itself: exempt
+        assert lint_mod.lint([str(tmp_path)], str(tmp_path)) == []
+        (pkg / "router.py").write_text(bad)
+        found = lint_mod.lint([str(tmp_path)], str(tmp_path))
+        assert [v.rule for v in found] == ["R004"]
+        assert "router.py" in found[0].path

@@ -1,0 +1,278 @@
+"""Unit tests for the bounded protocol model checker.
+
+Covers the token model (span-2 footprints, scheme semantics), BFS
+exploration + minimal witness extraction, the DAG liveness sweep, and
+the flow-set derivation — all on the tiny ``mc-2x1`` preset so the full
+state space fits comfortably in a unit-test budget.
+"""
+
+import pytest
+
+from repro.analysis.mc import (
+    MC_PRESETS,
+    PENDING,
+    MCResult,
+    ProtocolModel,
+    Witness,
+    build_mc_network,
+    check_liveness,
+    explore,
+    extract_witness,
+    format_chain,
+    format_channel,
+    mc_preset_names,
+    model_check,
+    select_flows,
+)
+from repro.noc.flit import Port
+
+FLOWS = MC_PRESETS["mc-2x1"].flows
+
+
+@pytest.fixture(scope="module")
+def net():
+    return build_mc_network("mc-2x1", "none")
+
+
+@pytest.fixture(scope="module")
+def base_model(net):
+    return ProtocolModel(net, FLOWS, "base")
+
+
+class TestPresets:
+    def test_registered(self):
+        assert set(mc_preset_names()) == {"mc-2x1", "mc-2x2"}
+
+    def test_networks_build(self):
+        assert build_mc_network("mc-2x1", "upp").topo.n_routers == 10
+        assert build_mc_network("mc-2x2", "none").topo.n_routers == 20
+
+
+class TestProtocolModel:
+    def test_routes_come_from_live_routing(self, base_model):
+        assert len(base_model.routes) == len(FLOWS)
+        for route in base_model.routes:
+            assert len(route) >= 1
+
+    def test_rejects_unknown_semantics(self, net):
+        with pytest.raises(ValueError):
+            ProtocolModel(net, FLOWS, "telepathy")
+
+    def test_footprint_spans_two_channels(self, base_model):
+        # at p=0 only the first channel is held; from p=1 the worm body
+        # still occupies the previous channel (5 flits over depth-4 VCs)
+        assert base_model.footprint(0, 0) == (base_model.routes[0][0],)
+        route = base_model.routes[0]
+        if len(route) >= 2:
+            assert base_model.footprint(0, 1) == (route[1], route[0])
+        assert base_model.footprint(0, PENDING) == ()
+        assert base_model.footprint(0, len(route)) == ()
+
+    def test_initial_moves_are_injections(self, base_model):
+        moves = base_model.moves(base_model.initial)
+        assert moves
+        assert all(kind == "inject" for kind, _, _ in moves)
+
+    def test_injection_blocked_by_occupied_first_channel(self, base_model):
+        # find two flows sharing a first channel, if the preset has them;
+        # otherwise synthesize occupancy by advancing the same flow
+        state = list(base_model.initial)
+        state[0] = 0  # flow 0 holds its first channel
+        occupied = base_model.routes[0][0]
+        blocked = [
+            i
+            for i, route in enumerate(base_model.routes)
+            if i != 0 and route[0] == occupied
+        ]
+        moves = base_model.moves(tuple(state))
+        injecting = {flow for kind, flow, _ in moves if kind == "inject"}
+        for i in blocked:
+            assert i not in injecting
+
+    def test_delivery_always_enabled_at_last_channel(self, base_model):
+        route = base_model.routes[0]
+        state = list(base_model.initial)
+        state[0] = len(route) - 1
+        moves = base_model.moves(tuple(state))
+        assert ("deliver", 0, base_model._at(tuple(state), 0, len(route))) in moves
+
+    def test_progress_strictly_increases(self, base_model):
+        state = base_model.initial
+        for _ in range(30):
+            moves = base_model.moves(state)
+            if not moves:
+                break
+            for _, _, nxt in moves:
+                assert base_model.progress(nxt) > base_model.progress(state)
+            state = moves[0][2]
+
+
+class TestPopupSemantics:
+    def test_blocked_upward_worm_pops_up(self, net):
+        model = ProtocolModel(net, FLOWS, "popup")
+        assert model.upward, "mc-2x1 flows must cross upward channels"
+        # drive BFS until some state offers a popup move
+        seen = {model.initial}
+        queue = [model.initial]
+        found = False
+        while queue and not found:
+            state = queue.pop()
+            for kind, flow, nxt in model.moves(state):
+                if kind == "popup":
+                    # the popped worm completes immediately
+                    assert nxt[flow] == len(model.routes[flow])
+                    found = True
+                    break
+                if nxt not in seen and len(seen) < 50_000:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        assert found, "no reachable state enabled a popup"
+
+
+class TestAbsorbSemantics:
+    def test_buffer_stage_has_empty_footprint(self, net):
+        model = ProtocolModel(net, FLOWS, "absorb")
+        flow = next(
+            i for i, buf in enumerate(model.buf_stage) if buf is not None
+        )
+        assert model.footprint(flow, model.buf_stage[flow]) == ()
+        assert model.slots > 0
+
+    def test_injection_gated_by_slot_budget(self, net):
+        # flood chiplet 0 (routers 2..5) from chiplet 1 so at least one
+        # entry boundary is over-subscribed relative to the slot budget
+        flood = [(s, d) for s in (6, 7, 8, 9) for d in (2, 3, 4, 5)]
+        model = ProtocolModel(net, flood, "absorb")
+        by_entry = {}
+        for i, entry in enumerate(model.entry):
+            if entry is not None:
+                by_entry.setdefault(entry, []).append(i)
+        entry, members = max(by_entry.items(), key=lambda kv: len(kv[1]))
+        assert len(members) > model.slots
+        state = list(model.initial)
+        for i in members[: model.slots]:
+            state[i] = 0  # in flight toward the same boundary
+        moves = model.moves(tuple(state))
+        injecting = {flow for kind, flow, _ in moves if kind == "inject"}
+        for i in members[model.slots :]:
+            assert i not in injecting
+
+
+class TestExploration:
+    def test_base_semantics_reaches_deadlock(self, base_model):
+        exploration = explore(base_model)
+        assert exploration.explored_to_fixpoint
+        assert exploration.deadlocks
+        assert exploration.n_states > 1000
+
+    def test_stop_at_first_deadlock_stops_early(self, base_model):
+        full = explore(base_model)
+        quick = explore(base_model, stop_at_first_deadlock=True)
+        assert len(quick.deadlocks) == 1
+        assert quick.n_states <= full.n_states
+
+    def test_cap_forfeits_fixpoint(self, base_model):
+        capped = explore(base_model, max_states=50)
+        assert not capped.explored_to_fixpoint
+        assert capped.n_states <= 50
+        with pytest.raises(ValueError):
+            check_liveness(capped)
+
+    def test_witness_is_minimal_and_replays_in_model(self, base_model):
+        exploration = explore(base_model)
+        witness = extract_witness(exploration)
+        assert witness is not None
+        assert witness.depth == len(witness.steps)
+        # depth is minimal: BFS depth of the deadlock state
+        # replay the steps through the model's own transition relation
+        state = base_model.initial
+        for kind, flow in witness.steps:
+            matches = [
+                nxt
+                for k, f, nxt in base_model.moves(state)
+                if k == kind and f == flow
+            ]
+            assert matches, f"step ({kind}, {flow}) not enabled"
+            state = matches[0]
+        assert state == witness.state
+        moves = base_model.moves(state)
+        assert base_model.is_deadlock(state, moves)
+
+    def test_witness_renders_wait_chain(self, base_model):
+        witness = extract_witness(explore(base_model, stop_at_first_deadlock=True))
+        lines = witness.render(base_model)
+        assert any("deadlocked wait chain" in line for line in lines)
+        chain = witness.wait_chain(base_model)
+        assert chain
+        assert all("holds" in line and "wants" in line for line in chain)
+
+
+class TestLiveness:
+    def test_upp_is_live_by_exhaustion(self, net):
+        model = ProtocolModel(net, FLOWS, "popup")
+        exploration = explore(model)
+        assert exploration.explored_to_fixpoint
+        assert not exploration.deadlocks
+        assert check_liveness(exploration)
+
+
+class TestSelectFlows:
+    # the full derivation (CDG cycles -> probe -> minimize) explores a few
+    # hundred thousand states; it runs in the integration suite
+    def test_acyclic_routing_refused(self):
+        composable = build_mc_network("mc-2x1", "composable")
+        with pytest.raises(ValueError):
+            select_flows(composable)
+
+
+class TestFormatting:
+    def test_format_channel(self):
+        assert format_channel((3, Port.NORTH)) == "(3,NORTH)"
+
+    def test_upward_channels_marked(self, net):
+        topo = net.topo
+        interposer = next(r for r in range(topo.n_routers) if topo.is_interposer(r))
+        chiplet = next(
+            r for r in range(topo.n_routers) if not topo.is_interposer(r)
+        )
+        chain = format_chain(
+            [(interposer, Port.UP), (chiplet, Port.NORTH)], topo
+        )
+        assert f"({interposer},UP)^" in chain
+        assert "NORTH)^" not in chain
+        # without a topology no channel is marked
+        assert "^" not in format_chain([(interposer, Port.UP)])
+
+
+class TestMCResult:
+    def _result(self, **overrides):
+        base = dict(
+            preset="mc-2x1", scheme="x", semantics="base", flows=[(0, 1)],
+            n_states=10, n_transitions=20, n_deadlock_states=0,
+            explored_to_fixpoint=True, liveness=True,
+            claims_deadlock_free=True, witness=None, seconds=0.0,
+        )
+        base.update(overrides)
+        return MCResult(**base)
+
+    def test_claimed_free_needs_fixpoint_and_liveness(self):
+        assert self._result().ok
+        assert not self._result(explored_to_fixpoint=False, liveness=None).ok
+        assert not self._result(liveness=False).ok
+        assert not self._result(n_deadlock_states=1).ok
+
+    def test_unprotected_needs_witness(self):
+        witness = Witness(flows=[(0, 1)], depth=1, steps=[("inject", 0)], state=(0,))
+        assert not self._result(claims_deadlock_free=False).ok
+        assert self._result(
+            claims_deadlock_free=False, n_deadlock_states=1, witness=witness
+        ).ok
+
+    def test_to_dict_json_roundtrip(self):
+        import json
+
+        result = model_check("mc-2x1", "none")
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["ok"] is True
+        assert payload["witness"]["depth"] == result.witness.depth
+        assert payload["claims_deadlock_free"] is False

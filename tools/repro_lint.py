@@ -19,6 +19,19 @@ arguments depend on:
 * **R003 — import hygiene**: no import cycles among ``repro.*``
   sub-packages, counting module-level imports only (function-local lazy
   imports are the sanctioned way to break a would-be cycle).
+* **R004 — mirror write-through**: the vector datapath keeps numpy
+  mirrors of VC route/allocation state, output-port credits and link
+  delivery queues; every mutation of a mirror-backed attribute inside
+  ``src/repro/noc`` and ``src/repro/schemes`` must flow through a
+  ``@mirror_hook``-decorated write-through site (the property setters
+  and mutator methods in ``repro.noc.buffer`` / ``repro.noc.link`` and
+  the network's link drain).  A raw rebind, subscript write or container
+  mutation anywhere else silently desynchronises the arrays.  The pass
+  tracks simple local aliases (``flits = link._flits`` followed by
+  ``flits.popleft()``) and flags ``.queue`` mutations only on VC-like
+  receivers (``vc.queue.append`` — VC queues must go through
+  ``push``/``pop``).  The engine itself (``repro/noc/vector.py``) and
+  the marker module are exempt.
 
 Usage: ``python tools/repro_lint.py [paths...]`` (default ``src``).
 Exit code 1 when any violation is found.
@@ -62,6 +75,35 @@ R002_RECEIVERS = {"flit", "sig", "signal", "packet", "req", "ack", "credit"}
 
 #: statistics fields any component may bump (not protocol state).
 R002_EXEMPT_FIELDS = {"hops", "popup_count"}
+
+#: packages whose code the mirror write-through rule covers.
+R004_SCOPES = ("repro/noc", "repro/schemes")
+
+#: files exempt from R004: the vector engine (it *owns* the arrays and
+#: binds them to objects) and the marker module itself.
+R004_EXEMPT_FILES = ("repro/noc/vector.py", "repro/noc/mirror.py")
+
+#: attributes with a numpy mirror (kept in sync with
+#: ``repro.noc.mirror.MIRRORED_ATTRS`` — the lint must stay stdlib-only,
+#: so the set is duplicated here and cross-checked by the test suite).
+R004_MIRRORED_ATTRS = {
+    "_out_port", "_out_vc", "_popup_tagged",
+    "_cell", "_alen", "_adue", "_aneed", "_aop", "_aovc", "_atag",
+    "credits", "vc_busy", "_obase", "_acred", "_abusy",
+    "_flits", "_credits", "_vec_due",
+}
+
+#: methods that mutate a list/deque in place.
+R004_MUTATORS = {
+    "append", "appendleft", "extend", "extendleft", "insert",
+    "pop", "popleft", "remove", "clear", "rotate", "sort", "reverse",
+}
+
+#: ``.queue`` is mirror-coupled only on VirtualChannel objects (pushes
+#: and pops maintain the occupancy arrays); mutations are flagged only
+#: when the receiver is named like a VC so unrelated queues (e.g. a
+#: permission controller's request queue) stay clean.
+R004_VC_RECEIVERS = {"vc", "ivc", "ovc", "in_vc", "dst_vc", "src_vc", "vchan"}
 
 
 class Violation:
@@ -161,6 +203,144 @@ def _flit_write(path: str, target: ast.expr, line: int):
         f"({', '.join(R002_OWNER_SCOPES)}); store derived state in the "
         f"component, not on the flit",
     )
+
+
+# --------------------------------------------------------------------- #
+# R004: mirror write-through
+
+
+def _is_mirror_hook(decorator: ast.expr) -> bool:
+    return (isinstance(decorator, ast.Name) and decorator.id == "mirror_hook") or (
+        isinstance(decorator, ast.Attribute) and decorator.attr == "mirror_hook"
+    )
+
+
+def _vc_like(node: ast.expr) -> bool:
+    """True when ``node`` names a VirtualChannel-looking receiver."""
+    if isinstance(node, ast.Name):
+        return node.id in R004_VC_RECEIVERS
+    if isinstance(node, ast.Attribute):
+        return node.attr in R004_VC_RECEIVERS
+    return False
+
+
+def check_mirror_writethrough(path: str, tree: ast.Module) -> List[Violation]:
+    """Flag mutations of mirror-backed state outside ``@mirror_hook``
+    functions (raw rebinds, subscript writes, container mutator calls),
+    tracking simple local aliases within each function."""
+    found: List[Violation] = []
+
+    def scan_body(body, aliases: Set[str]) -> None:
+        for stmt in body:
+            scan_stmt(stmt, aliases)
+
+    def scan_stmt(stmt: ast.stmt, aliases: Set[str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not any(_is_mirror_hook(d) for d in stmt.decorator_list):
+                scan_body(stmt.body, set())  # fresh local-alias scope
+            return
+        if isinstance(stmt, ast.ClassDef):
+            scan_body(stmt.body, set())
+            return
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            else:
+                targets = [stmt.target]
+            for target in targets:
+                check_write(target, stmt.lineno, aliases)
+            # alias creation: name = <expr>.mirrored_attr
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Attribute)
+            ):
+                attr = stmt.value.attr
+                if attr in R004_MIRRORED_ATTRS or (
+                    attr == "queue" and _vc_like(stmt.value.value)
+                ):
+                    aliases.add(stmt.targets[0].id)
+                else:
+                    aliases.discard(stmt.targets[0].id)
+            elif (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                aliases.discard(stmt.targets[0].id)
+        # descend into compound statements and expressions
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                scan_expr(child, stmt.lineno, aliases)
+            elif isinstance(child, ast.stmt):
+                scan_stmt(child, aliases)
+            elif isinstance(child, (ast.ExceptHandler, ast.withitem)):
+                for grandchild in ast.iter_child_nodes(child):
+                    if isinstance(grandchild, ast.stmt):
+                        scan_stmt(grandchild, aliases)
+                    elif isinstance(grandchild, ast.expr):
+                        scan_expr(grandchild, stmt.lineno, aliases)
+
+    def check_write(target: ast.expr, line: int, aliases: Set[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                check_write(element, line, aliases)
+            return
+        if isinstance(target, ast.Attribute):
+            if target.attr in R004_MIRRORED_ATTRS:
+                found.append(Violation(
+                    path, line, "R004",
+                    f"raw assignment to mirror-backed attribute "
+                    f".{target.attr} bypasses the vector write-through; "
+                    f"route it through a @mirror_hook site",
+                ))
+            return
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Attribute) and base.attr in R004_MIRRORED_ATTRS:
+                found.append(Violation(
+                    path, line, "R004",
+                    f"subscript write to mirror-backed .{base.attr} "
+                    f"bypasses the vector write-through; route it through "
+                    f"a @mirror_hook site",
+                ))
+            elif isinstance(base, ast.Name) and base.id in aliases:
+                found.append(Violation(
+                    path, line, "R004",
+                    f"subscript write through alias '{base.id}' of a "
+                    f"mirror-backed attribute bypasses the vector "
+                    f"write-through; route it through a @mirror_hook site",
+                ))
+
+    def scan_expr(node: ast.expr, line: int, aliases: Set[str]) -> None:
+        for call in ast.walk(node):
+            if not (isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute)):
+                continue
+            if call.func.attr not in R004_MUTATORS:
+                continue
+            receiver = call.func.value
+            if isinstance(receiver, ast.Attribute) and (
+                receiver.attr in R004_MIRRORED_ATTRS
+                or (receiver.attr == "queue" and _vc_like(receiver.value))
+            ):
+                found.append(Violation(
+                    path, call.lineno, "R004",
+                    f"in-place mutation .{receiver.attr}.{call.func.attr}() "
+                    f"of mirror-backed state bypasses the vector "
+                    f"write-through; route it through a @mirror_hook site",
+                ))
+            elif isinstance(receiver, ast.Name) and receiver.id in aliases:
+                found.append(Violation(
+                    path, call.lineno, "R004",
+                    f"in-place mutation {receiver.id}.{call.func.attr}() "
+                    f"through an alias of mirror-backed state bypasses the "
+                    f"vector write-through; route it through a "
+                    f"@mirror_hook site",
+                ))
+
+    scan_body(tree.body, set())
+    return found
 
 
 # --------------------------------------------------------------------- #
@@ -293,6 +473,9 @@ def lint(paths: List[str], root: str) -> List[Violation]:
             violations.extend(check_determinism(path, tree))
         if not _in_scope(path, R002_OWNER_SCOPES):
             violations.extend(check_flit_ownership(path, tree))
+        norm = path.replace(os.sep, "/")
+        if _in_scope(path, R004_SCOPES) and not norm.endswith(R004_EXEMPT_FILES):
+            violations.extend(check_mirror_writethrough(path, tree))
     violations.extend(check_import_cycles(trees, root))
     return violations
 
