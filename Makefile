@@ -29,8 +29,11 @@ witness:
 	PYTHONPATH=src $(PYTHON) -m repro check --preset baseline --witness
 	PYTHONPATH=src $(PYTHON) -m repro mc --preset mc-2x1 --scheme none
 
+# smoke bench caps the saturated configs' measured window so the
+# identity cross-check stays fast; unset the knob for real timings
 bench:
-	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --out -
+	PYTHONPATH=src REPRO_BENCH_SMOKE_CYCLES=250 \
+	$(PYTHON) -m repro bench --smoke --out -
 
 bench-figs:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

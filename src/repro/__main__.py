@@ -173,7 +173,7 @@ def cmd_bench(args) -> int:
     """Run the core perf harness (vector vs legacy vs full-sweep)."""
     from repro.bench import main as bench_main
 
-    argv = ["--repeats", str(args.repeats), "--out", args.out]
+    argv = ["--repeat", str(args.repeat), "--out", args.out]
     if args.smoke:
         argv.append("--smoke")
     if args.baseline_rev:
@@ -345,7 +345,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", help="core wall-clock perf harness (BENCH_core.json)")
     p.add_argument("--smoke", action="store_true")
-    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--repeat", "--repeats", dest="repeat", type=int, default=3,
+                   metavar="N", help="timing repeats per mode (median-of-N)")
     p.add_argument("--out", default="BENCH_core.json")
     p.add_argument("--baseline-rev", default=None)
     p.add_argument("--profile", nargs="?", const="uniform_r0.08",

@@ -59,14 +59,37 @@ class RunnerStats:
     retried: int = 0
     #: points skipped because a serial sweep stopped early.
     skipped: int = 0
+    #: running sum/count of per-point ``scalar_fallback_fraction`` values
+    #: (vector-engine points only; legacy points report None and are not
+    #: counted).
+    fallback_fraction_sum: float = 0.0
+    fallback_points: int = 0
 
-    def as_dict(self) -> Dict[str, int]:
+    @property
+    def scalar_fallback_fraction(self) -> Optional[float]:
+        """Mean vector-engine scalar-fallback fraction across executed
+        points, or None when no point reported one."""
+        if self.fallback_points == 0:
+            return None
+        return self.fallback_fraction_sum / self.fallback_points
+
+    def note_result(self, result) -> None:
+        """Fold one executed point's engine diagnostics into the stats."""
+        frac = result.get("scalar_fallback_fraction") if isinstance(
+            result, Mapping
+        ) else None
+        if frac is not None:
+            self.fallback_fraction_sum += float(frac)
+            self.fallback_points += 1
+
+    def as_dict(self) -> Dict[str, object]:
         return {
             "submitted": self.submitted,
             "executed": self.executed,
             "cached": self.cached,
             "retried": self.retried,
             "skipped": self.skipped,
+            "scalar_fallback_fraction": self.scalar_fallback_fraction,
         }
 
 
@@ -148,6 +171,7 @@ class ExperimentRunner:
             else:
                 result = self.execute(spec)
                 self.stats.executed += 1
+                self.stats.note_result(result)
                 self._store(key, spec, result)
                 self._report(index + 1, total, spec, "run")
             results.append(result)
@@ -211,6 +235,7 @@ class ExperimentRunner:
                     continue
                 results[index] = result
                 self.stats.executed += 1
+                self.stats.note_result(result)
                 self._store(keys[index], specs[index], result)
                 self._report(len(results), total, specs[index], "run")
         finally:

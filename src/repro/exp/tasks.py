@@ -119,6 +119,9 @@ def _execute_sweep_point(spec: Mapping) -> Dict[str, object]:
         "throughput": summary["throughput"],
         "deadlocked": result.deadlocked,
         "upward_packets": result.scheme_stats.get("upward_packets", 0),
+        "scalar_fallback_fraction": result.datapath.get(
+            "scalar_fallback_fraction"
+        ),
     }
 
 
@@ -148,6 +151,9 @@ def _execute_workload(spec: Mapping) -> Dict[str, object]:
     summary["runtime"] = result.cycles
     summary["upward_packets"] = result.scheme_stats.get("upward_packets", 0)
     summary["total_packets"] = result.stats.ejected_packets
+    summary["scalar_fallback_fraction"] = result.datapath.get(
+        "scalar_fallback_fraction"
+    )
     return summary
 
 

@@ -48,6 +48,11 @@ class VirtualChannel:
         "_aovc",   # per-cell allocated output VC (-1 before VCS)
         "_atag",   # per-cell popup_tagged array
         "_dly",    # owning router's SA eligibility delay
+        "_aring",  # per-cell ring of flit-pool rows in queue order
+        "_ahead",  # per-cell ring head offset array
+        "_adep",   # ring width (modulus for ring positions)
+        "_apool",  # the engine's FlitPool (adopts unpooled flits on push)
+        "_aeng",   # owning engine (re-arms parked cells on local events)
     )
 
     @mirror_hook
@@ -76,6 +81,11 @@ class VirtualChannel:
         self._aovc = None
         self._atag = None
         self._dly = 0
+        self._aring = None
+        self._ahead = None
+        self._adep = 1
+        self._apool = None
+        self._aeng = None
 
     # --- mirrored VC state -------------------------------------------- #
     # The vector engine scans (out_port, out_vc, popup_tagged) as numpy
@@ -94,6 +104,9 @@ class VirtualChannel:
         c = self._cell
         if c >= 0:
             self._aop[c] = -1 if value is None else value
+            eng = self._aeng
+            if eng is not None and eng.parked[c]:
+                eng.unpark_cell(c)  # route change invalidates the verdict
 
     @property
     def out_vc(self) -> int:
@@ -118,6 +131,10 @@ class VirtualChannel:
         c = self._cell
         if c >= 0:
             self._atag[c] = value
+            if not value:
+                eng = self._aeng
+                if eng is not None and eng.parked[c]:
+                    eng.unpark_cell(c)  # untagged heads rejoin the scan
 
     @property
     def is_idle(self) -> bool:
@@ -163,6 +180,14 @@ class VirtualChannel:
             if len(self.queue) == 1:
                 self._adue[c] = cycle + self._dly
                 self._aneed[c] = flit.packet.size
+            pool = self._apool
+            row = flit._row
+            if row < 0:
+                row = pool.adopt(flit)
+            pool.arrival[row] = cycle
+            self._aring[
+                c, (self._ahead[c] + len(self.queue) - 1) % self._adep
+            ] = row
 
     @mirror_hook
     def pop(self) -> Flit:
@@ -173,6 +198,7 @@ class VirtualChannel:
         c = self._cell
         if c >= 0:
             self._alen[c] -= 1
+            self._ahead[c] = (self._ahead[c] + 1) % self._adep
             queue = self.queue
             if queue:
                 head = queue[0]
@@ -180,6 +206,9 @@ class VirtualChannel:
                 self._aneed[c] = head.packet.size
             else:
                 self._adue[c] = _NEVER
+            eng = self._aeng
+            if eng is not None and eng.parked[c]:
+                eng.unpark_cell(c)  # the parked head is gone
         if flit.is_tail:
             self.active_pid = -1
             self.out_port = None
@@ -247,6 +276,7 @@ class OutputPort:
         "_obase",  # flat (output row, vc 0) index into the engine arrays
         "_acred",  # global credit-count array
         "_abusy",  # global VC-allocation array
+        "_aunpark",  # engine re-arm callback (parked-cell credit events)
     )
 
     @mirror_hook
@@ -266,6 +296,7 @@ class OutputPort:
         self._obase = -1
         self._acred = None
         self._abusy = None
+        self._aunpark = None
 
     def free_vcs(self, vnet: int, need: int = 1):
         """Output VCs of ``vnet`` that are IDLE downstream and hold at
@@ -307,6 +338,7 @@ class OutputPort:
         b = self._obase
         if b >= 0:
             self._acred[b + vc] += 1
+            self._aunpark(b)  # fresh credit re-arms cells parked here
         if vc_free:
             self.vc_busy[vc] = False
             self.vc_owner[vc] = -1

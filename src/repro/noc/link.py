@@ -44,6 +44,17 @@ class Link:
         "kind",
         "_order",
         "_vec_due",
+        "_vec_min",
+        "_batch_ok",
+        "_cell_base",
+        "_dst_vcs",
+        "_dst_iport",
+        "_dst_router",
+        "_src_router",
+        "_src_oport",
+        "_dst_pt",
+        "_src_ni",
+        "_dst_ni",
     )
 
     #: delivery-dispatch categories used by the network scheduler.
@@ -81,6 +92,29 @@ class Link:
         #: engine finds due links with one numpy compare instead of a
         #: busy-set sweep); None outside a vector network.
         self._vec_due = None
+        #: 1-element global minimum of ``_vec_due`` across all links (the
+        #: engine's delivery-phase early-out); None outside a vector net.
+        self._vec_min = None
+        #: True when the engine may drain this link with the batched
+        #: delivery path (router-to-router, neither endpoint pinned
+        #: scalar); set by the engine at construction/adoption time.
+        self._batch_ok = False
+        #: batch-delivery bindings (destination cell base + cached
+        #: endpoint objects), set by the engine alongside ``_batch_ok``.
+        self._cell_base = -1
+        self._dst_vcs = None
+        self._dst_iport = None
+        self._dst_router = None
+        self._src_router = None
+        self._src_oport = None
+        #: effective downstream input port for batched dispatch
+        #: (``Port.LOCAL`` on NI->router links).
+        self._dst_pt = None
+        #: NI endpoints for the batch-delivered NI link sides (the flit
+        #: side of router->NI and the credit side of NI->router links
+        #: keep their scalar object handlers).
+        self._src_ni = None
+        self._dst_ni = None
 
     def _register(self) -> None:
         if not self._busy and self._sched is not None:
@@ -97,8 +131,12 @@ class Link:
         self._flits.append((due, flit, out_vc))
         self.flits_carried += 1
         vec = self._vec_due
-        if vec is not None and due < vec[self._order]:
-            vec[self._order] = due
+        if vec is not None:
+            if due < vec[self._order]:
+                vec[self._order] = due
+            box = self._vec_min
+            if due < box[0]:
+                box[0] = due
         sched = self._sched
         if sched is not None:
             if flit.is_signal:
@@ -113,8 +151,12 @@ class Link:
         due = cycle + self.latency
         self._credits.append((due, credit))
         vec = self._vec_due
-        if vec is not None and due < vec[self._order]:
-            vec[self._order] = due
+        if vec is not None:
+            if due < vec[self._order]:
+                vec[self._order] = due
+            box = self._vec_min
+            if due < box[0]:
+                box[0] = due
         if not self._busy and self._sched is not None:
             self._busy = True
             self._sched.wake_link(self)

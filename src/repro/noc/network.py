@@ -135,12 +135,17 @@ class Network:
         #: when numpy is unavailable.  Built after scheme attachment so
         #: the arrays can adopt scheme state (popup units).
         self.vector = None
+        #: the vector engine's FlitPool; None outside a vector network.
+        #: NIs adopt freshly segmented flits into it and release them at
+        #: ejection (the pool rows back the engine's batch paths).
+        self.flit_pool = None
         if self.cfg.datapath == "vector" and not self.cfg.full_sweep:
             from repro.noc.vector import HAVE_NUMPY, VectorEngine
 
             if HAVE_NUMPY:
                 self.vector = VectorEngine(self)
                 self.vector.adopt_scheme_state()
+                self.flit_pool = self.vector.pool
             else:
                 _warn_vector_fallback()
 
@@ -500,6 +505,33 @@ class Network:
 
     # ------------------------------------------------------------------ #
     # introspection
+
+    def datapath_stats(self) -> dict:
+        """Which engine executed this run, plus — under the vector
+        engine — how much of the work actually took the batch path.
+        ``scalar_fallback_fraction`` is the fraction of evaluated cycles
+        that routed at least one router through the scheme-special scalar
+        step (the regression signal for scheme-heavy workloads)."""
+        if self.cfg.full_sweep:
+            return {"engine": "full_sweep"}
+        vec = self.vector
+        if vec is None:
+            return {"engine": "legacy"}
+        cycles = vec.cycles
+        return {
+            "engine": "vector",
+            "cycles": cycles,
+            "static_cycles": vec.static_cycles,
+            "scalar_cycles": vec.scalar_cycles,
+            "scalar_router_cycles": vec.scalar_router_cycles,
+            "batched_flits": vec.batched_flits,
+            "batched_deliveries": vec.batched_deliveries,
+            "pool_capacity": vec.pool.capacity,
+            "pool_grows": vec.pool.grows,
+            "scalar_fallback_fraction": (
+                vec.scalar_cycles / cycles if cycles else 0.0
+            ),
+        }
 
     def occupancy(self) -> int:
         """Flits resident anywhere in the system, including messages still

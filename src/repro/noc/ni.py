@@ -304,7 +304,13 @@ class NetworkInterface:
             self._stream_vc = self.rng.choice(free) if len(free) > 1 else free[0]
             self.out_credits.allocate(self._stream_vc, packet.pid)
             packet.injected_cycle = cycle
-            self._stream_flits.extend(packet.make_flits())
+            flits = packet.make_flits()
+            net = self._net
+            if net is not None and net.flit_pool is not None:
+                # pooled network: flits own an engine row from injection
+                # until NI ejection releases it
+                net.flit_pool.adopt_packet(flits)
+            self._stream_flits.extend(flits)
             self._inject_rr = (vnet + 1) % n_vnets
             return
 
@@ -365,8 +371,11 @@ class NetworkInterface:
         self._ejection_ready += 1
         self.ejected_packets += 1
         self.ejected_flits += packet.size
-        if self._net is not None:
-            self._net.note_flits_retired(packet.size)
+        net = self._net
+        if net is not None:
+            net.note_flits_retired(packet.size)
+            if net.flit_pool is not None:
+                net.flit_pool.release_all(flits)
         if self.on_eject is not None:
             self.on_eject(packet)
 
@@ -442,8 +451,11 @@ class NetworkInterface:
         self.ejected_packets += 1
         self.ejected_flits += packet.size
         self.popup_ejections += 1
-        if self._net is not None:
-            self._net.note_flits_retired(packet.size)
+        net = self._net
+        if net is not None:
+            net.note_flits_retired(packet.size)
+            if net.flit_pool is not None:
+                net.flit_pool.release_all(flits)
         if self.on_eject is not None:
             self.on_eject(packet)
 

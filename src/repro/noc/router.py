@@ -104,6 +104,12 @@ class Router:
         self.upp = None
         #: remote-control boundary buffer unit.
         self.rc_unit = None
+        #: True when the vector engine permanently excludes this router
+        #: from the batch path (set at scheme adoption for routers with
+        #: state the arrays cannot express, e.g. boundary buffers); such
+        #: routers carry no mirror bindings and always take the scalar
+        #: step.
+        self.pinned_scalar = False
 
         # popup flits delivered this cycle, forwarded during step().
         self._popup_in: List[Tuple[Flit, Port]] = []
@@ -225,7 +231,7 @@ class Router:
         this also resynchronizes the router's mirror arrays, so planted
         state becomes visible to the batch scans."""
         vec = getattr(self._sched, "vector", None)
-        if vec is not None:
+        if vec is not None and not self.pinned_scalar:
             vec.resync_router(self)
         self._wake()
 

@@ -53,25 +53,28 @@ class UPPScheme(DeadlockScheme):
                 router.upp_tables = ChipletCircuitTable(n_vnets, self.stats)
 
     def post_cycle(self, network, cycle: int) -> None:
-        if network.cfg.full_sweep or network.vector is not None:
-            # Full sweep ticks everything by definition.  The vector engine
-            # also ticks everything: its switch phase reports stall/progress
-            # observations for all popup routers each cycle, not just the
-            # scalar-stepped ones, and an idle unit's tick is a no-op, so
-            # this is bit-identical to the active-mode bookkeeping below.
+        if network.cfg.full_sweep:
+            # Full sweep ticks everything by definition.
             for router in self._popup_units:
                 router.upp.tick(router, cycle)
             return
-        # Active mode: tick only units that could do something — those of
-        # routers that evaluated this cycle (fresh stall observations) plus
-        # armed units (timeout counters / in-flight attempts / queued
-        # signals, which must advance even on a sleeping router).  A unit
-        # outside both sets is provably idle, so its tick is a no-op and
-        # skipping it preserves bit-identical results with the full sweep.
+        # Active mode and the vector engine tick only units that could do
+        # something — armed units (timeout counters / in-flight attempts /
+        # queued signals, which must advance even on a sleeping router)
+        # plus those with fresh stall observations: routers that took the
+        # scalar step this cycle, and — under the vector engine — the
+        # routers whose flags the batch switch phase just reported
+        # (``vec.upp_observed``; stale entries from a skipped static cycle
+        # only add idle no-op ticks).  A unit outside every set is
+        # provably idle, so its tick is a no-op and skipping it preserves
+        # bit-identical results with the full sweep.
         candidates = dict(self._armed)
         for router in network.stepped_routers:
             if router.upp is not None:
                 candidates[router.rid] = router
+        vec = network.vector
+        if vec is not None:
+            candidates.update(vec.upp_observed)
         armed = self._armed
         for rid in sorted(candidates):
             router = candidates[rid]

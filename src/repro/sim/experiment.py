@@ -64,6 +64,13 @@ class SweepPoint:
     throughput: float
     deadlocked: bool
     upward_packets: int
+    #: fraction of evaluated cycles the vector engine fell back to the
+    #: scalar per-router step (None on non-vector engines and for rows
+    #: replayed from a cache written before this field existed).
+    #: Diagnostics only — deliberately excluded from
+    #: :func:`sweep_to_rows` so engine choice never leaks into the
+    #: bit-identity projection.
+    scalar_fallback_fraction: Optional[float] = None
 
 
 def latency_sweep(
@@ -202,6 +209,11 @@ def _workload_inline(
     summary["runtime"] = result.cycles
     summary["upward_packets"] = result.scheme_stats.get("upward_packets", 0)
     summary["total_packets"] = result.stats.ejected_packets
+    # keep the dict shape identical to the spec/worker executor
+    # (tests assert the two paths reproduce each other exactly)
+    summary["scalar_fallback_fraction"] = result.datapath.get(
+        "scalar_fallback_fraction"
+    )
     return summary
 
 
@@ -265,7 +277,12 @@ def replicate(run_once: Callable[[int], float], seeds: Sequence[int]) -> Dict[st
 
 
 def sweep_to_rows(points: List[SweepPoint]) -> List[dict]:
-    """Plain-dict form of a sweep (JSON-serialisable)."""
+    """Plain-dict form of a sweep (JSON-serialisable).
+
+    This is the bit-identity projection the parallel/cache regression
+    checks compare, so it carries measurement fields only —
+    ``scalar_fallback_fraction`` (an engine diagnostic) stays out.
+    """
     return [
         {
             "rate": p.rate,

@@ -34,6 +34,11 @@ class SimulationResult:
     deadlock_cycle: Optional[int]
     scheme_stats: dict
     stats: SimulationStats = field(repr=False, default=None)
+    #: engine execution profile (:meth:`Network.datapath_stats`) — which
+    #: datapath ran and, under the vector engine, its scalar-fallback
+    #: fraction.  Diagnostics only: never part of the result fingerprint
+    #: (the same workload must fingerprint identically on every engine).
+    datapath: dict = field(repr=False, default_factory=dict)
 
 
 class Simulation:
@@ -111,6 +116,7 @@ class Simulation:
             deadlock_cycle=None,
             scheme_stats=self.scheme.stats_snapshot(),
             stats=self.stats,
+            datapath=net.datapath_stats(),
         )
 
     def _deadlock_result(self, allow_deadlock: bool) -> SimulationResult:
@@ -130,4 +136,5 @@ class Simulation:
             deadlock_cycle=self.deadlock_cycle,
             scheme_stats=self.scheme.stats_snapshot(),
             stats=self.stats,
+            datapath=self.network.datapath_stats(),
         )

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Perf guard over the committed BENCH_core.json.
+
+Fails (exit 1) when any config row records a
+``vector_speedup_vs_full_sweep`` below the floor (default 1.0): the
+vector datapath is the default engine, so a config where it runs slower
+than the debug reference sweep is a regression that must not land
+silently.  The guard reads the *committed* report — it is deterministic
+in CI and catches PRs that re-benchmark and check in a regressed ratio,
+while actual re-timing stays a local, repeated-measurement task
+(``python -m repro bench --repeat 5``).
+
+Usage::
+
+    python tools/bench_guard.py [BENCH_core.json] [--floor 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(report: dict, floor: float) -> list:
+    """Return ``(name, ratio)`` for every config under the floor."""
+    rows = report.get("configs")
+    if not isinstance(rows, list) or not rows:
+        raise SystemExit("bench_guard: report has no 'configs' rows")
+    failures = []
+    for row in rows:
+        ratio = row.get("vector_speedup_vs_full_sweep")
+        if ratio is None:
+            raise SystemExit(
+                f"bench_guard: config {row.get('name')!r} lacks "
+                f"vector_speedup_vs_full_sweep"
+            )
+        if ratio < floor:
+            failures.append((row["name"], ratio))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_guard", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("report", nargs="?", default="BENCH_core.json",
+                        help="path to the committed bench report")
+    parser.add_argument("--floor", type=float, default=1.0,
+                        help="minimum acceptable vector-vs-full-sweep ratio")
+    args = parser.parse_args(argv)
+    path = Path(args.report)
+    if not path.is_file():
+        raise SystemExit(f"bench_guard: no such report: {path}")
+    report = json.loads(path.read_text())
+    schema = report.get("schema", "")
+    if not str(schema).startswith("repro-bench-core/"):
+        raise SystemExit(f"bench_guard: unexpected schema {schema!r}")
+    failures = check(report, args.floor)
+    if failures:
+        for name, ratio in failures:
+            print(f"bench_guard: {name}: vector_speedup_vs_full_sweep "
+                  f"{ratio} < {args.floor}")
+        return 1
+    names = [row["name"] for row in report["configs"]]
+    print(f"bench_guard: {len(names)} config(s) at or above "
+          f"{args.floor}x: {', '.join(names)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
