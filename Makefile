@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check mc witness bench bench-figs bench-full examples examples-smoke lint clean
+.PHONY: install test check mc witness bench bench-figs bench-full examples examples-smoke service-smoke lint clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -50,6 +50,12 @@ examples:
 examples-smoke:
 	PYTHONPATH=src REPRO_JOBS=2 $(PYTHON) examples/quickstart.py
 	PYTHONPATH=src REPRO_JOBS=2 $(PYTHON) examples/coherence_workload.py blackscholes 0.05
+
+# boot a real `python -m repro serve` subprocess and drive it with
+# repro.client: submit, stream SSE progress, warm-resubmit (must execute
+# zero simulations), graceful SIGTERM shutdown
+service-smoke:
+	PYTHONPATH=src $(PYTHON) tools/service_smoke.py
 
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks examples

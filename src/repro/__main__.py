@@ -10,6 +10,7 @@ Quick access to the library's main experiments without writing a script:
 * ``check``     — static deadlock-freedom certification of a preset
 * ``mc``        — bounded model checking cross-validated against ``check``
 * ``cache``     — inspect / garbage-collect the experiment result cache
+* ``serve``     — run the async sweep service (job queue + HTTP/JSON API)
 
 ``sweep`` and ``workload`` orchestrate through :mod:`repro.api`: pass
 ``--jobs N`` to fan points out over worker processes and ``--cache-dir``
@@ -224,11 +225,18 @@ def _resolve_cache_dir(args) -> str:
 
 def cmd_cache(args) -> int:
     """Inspect (``ls``) or garbage-collect (``gc``) the result cache."""
+    import json
+
     from repro.exp.cache import ResultCache
 
     cache = ResultCache(_resolve_cache_dir(args))
     if args.action == "ls":
         rows = cache.entries()
+        if args.json:
+            # machine-readable: full fingerprints plus scheme/size/mtime,
+            # so scripts and the service stats page never parse the table
+            print(json.dumps({"root": str(cache.root), "entries": rows}, indent=2))
+            return 0
         for row in rows:
             print(
                 f"{row['key'][:16]}  {row['kind']:>11}  {row['bytes']:>7} B  "
@@ -239,6 +247,26 @@ def cmd_cache(args) -> int:
     removed = cache.gc(max_age_days=args.max_age_days, drop_all=args.all)
     print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {cache.root}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the async sweep service until SIGINT/SIGTERM."""
+    import asyncio
+
+    from repro.service.app import run_service
+
+    cache = api.make_cache(args.cache_dir, tiered=args.tiered)
+    return asyncio.run(
+        run_service(
+            args.host,
+            args.port,
+            queue_dir=os.path.expanduser(args.queue_dir),
+            cache=cache,
+            sim_jobs=args.jobs or 1,
+            workers=args.workers,
+            retries=args.retries,
+        )
+    )
 
 
 def _add_runner_options(p: argparse.ArgumentParser) -> None:
@@ -358,11 +386,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=("ls", "gc"))
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default: REPRO_CACHE_DIR)")
+    p.add_argument("--json", action="store_true",
+                   help="ls: emit machine-readable JSON entries "
+                        "(fingerprint, scheme, size, mtime)")
     p.add_argument("--max-age-days", type=float, default=None,
                    help="gc: only remove entries older than this")
     p.add_argument("--all", action="store_true",
                    help="gc: remove every entry")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser(
+        "serve", help="async sweep service (HTTP/JSON job queue, SSE progress)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port (0 binds an ephemeral port)")
+    p.add_argument("--queue-dir", default="~/.cache/repro-queue",
+                   help="persistent job-queue directory (crash-safe resume)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result-cache directory (default: REPRO_CACHE_DIR)")
+    p.add_argument("--tiered", action="store_true",
+                   help="front the cache dir with a tiered backend "
+                        "(local L1 over a remote-style L2 stub)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="simulation worker processes per job (default serial)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent jobs executed by the service")
+    p.add_argument("--retries", type=int, default=2,
+                   help="per-job retries on a broken worker pool")
+    p.set_defaults(fn=cmd_serve)
 
     return parser
 

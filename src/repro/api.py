@@ -34,8 +34,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.config import UPPConfig
+from repro.exp.backends import (
+    CacheBackend,
+    MemoryBackend,
+    RemoteStubBackend,
+    TieredBackend,
+)
 from repro.exp.cache import ResultCache
-from repro.exp.runner import ExperimentRunner, ProgressFn, default_runner
+from repro.exp.runner import ExperimentRunner, ProgressFn
+from repro.exp.schemas import JOB_SCHEMA, JobSchemaError, validate_job
 from repro.noc.config import NocConfig
 from repro.schemes.registry import make_scheme, scheme_names
 from repro.sim import experiment as _experiment
@@ -46,12 +53,19 @@ from repro.topology.registry import get_topology, topology_names
 from repro.traffic.workloads import get_workload
 
 __all__ = [
+    "CacheBackend",
     "ExperimentRunner",
+    "JOB_SCHEMA",
+    "JobSchemaError",
+    "MemoryBackend",
     "Preset",
+    "RemoteStubBackend",
     "ResultCache",
     "SweepPoint",
+    "TieredBackend",
     "build_simulation",
     "load_preset",
+    "make_cache",
     "make_runner",
     "make_scheme",
     "preset_names",
@@ -61,6 +75,7 @@ __all__ = [
     "scheme_names",
     "sweep_to_rows",
     "topology_names",
+    "validate_job",
 ]
 
 
@@ -125,31 +140,63 @@ def build_simulation(
     )
 
 
+def make_cache(
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    *,
+    tiered: bool = False,
+    remote: Optional[CacheBackend] = None,
+) -> Optional[CacheBackend]:
+    """A cache backend from a directory path (or ``REPRO_CACHE_DIR``).
+
+    Plain by default: a sharded-dir :class:`ResultCache` rooted at
+    ``cache_dir``, or None when no directory is configured.  With
+    ``tiered=True`` the dir becomes the L1 of a
+    :class:`~repro.exp.backends.TieredBackend` over ``remote`` (an
+    in-process :class:`~repro.exp.backends.RemoteStubBackend` when not
+    given) — the sweep service's default shape.
+    """
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    if not cache_dir:
+        return None
+    local = ResultCache(os.path.expanduser(os.fspath(cache_dir)))
+    if not tiered:
+        return local
+    return TieredBackend(local, remote if remote is not None else RemoteStubBackend())
+
+
 def make_runner(
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     *,
+    cache: Optional[CacheBackend] = None,
     retries: int = 2,
     progress: Optional[ProgressFn] = None,
 ) -> ExperimentRunner:
     """An experiment runner; None arguments defer to ``REPRO_JOBS`` /
-    ``REPRO_CACHE_DIR`` (both defaulting to serial, uncached)."""
+    ``REPRO_CACHE_DIR`` (both defaulting to serial, uncached).
+
+    This is the **only** place library code reads those environment
+    variables — pass ``cache=`` (any :class:`CacheBackend`) or
+    ``cache_dir=`` to configure caching explicitly.
+    """
+    if cache is not None and cache_dir is not None:
+        raise ValueError("pass either cache= or cache_dir=, not both")
     if jobs is None:
         jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
-    if cache_dir is None:
-        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
-    cache = ResultCache(os.path.expanduser(os.fspath(cache_dir))) if cache_dir else None
+    if cache is None:
+        cache = make_cache(cache_dir)
     return ExperimentRunner(jobs=jobs, cache=cache, retries=retries, progress=progress)
 
 
-def _resolve_runner(runner, jobs, cache_dir, progress) -> ExperimentRunner:
+def _resolve_runner(runner, jobs, cache_dir, cache, progress) -> ExperimentRunner:
     if runner is not None:
-        if jobs is not None or cache_dir is not None:
-            raise ValueError("pass either runner= or jobs=/cache_dir=, not both")
+        if jobs is not None or cache_dir is not None or cache is not None:
+            raise ValueError(
+                "pass either runner= or jobs=/cache_dir=/cache=, not both"
+            )
         return runner
-    if jobs is None and cache_dir is None and progress is None:
-        return default_runner()
-    return make_runner(jobs, cache_dir, progress=progress)
+    return make_runner(jobs, cache_dir, cache=cache, progress=progress)
 
 
 def run_sweep(
@@ -164,12 +211,15 @@ def run_sweep(
     runner: Optional[ExperimentRunner] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
+    cache: Optional[CacheBackend] = None,
     progress: Optional[ProgressFn] = None,
 ) -> List[SweepPoint]:
     """Latency vs injection rate for one scheme/pattern on a preset.
 
-    ``jobs``/``cache_dir`` build a throwaway runner; pass ``runner=`` to
-    share one (and read its ``stats``) across calls.
+    ``jobs``/``cache_dir``/``cache`` build a throwaway runner; pass
+    ``runner=`` to share one (and read its ``stats``) across calls.
+    ``cache`` accepts any :class:`CacheBackend` (memory, tiered, ...);
+    ``cache_dir`` is shorthand for the sharded-dir backend.
     """
     resolved = _coerce_preset(preset)
     return _experiment.latency_sweep(
@@ -182,7 +232,7 @@ def run_sweep(
         measure=measure,
         upp_cfg=resolved.upp_config,
         saturation_latency=saturation_latency,
-        runner=_resolve_runner(runner, jobs, cache_dir, progress),
+        runner=_resolve_runner(runner, jobs, cache_dir, cache, progress),
     )
 
 
@@ -196,6 +246,7 @@ def run_workload(
     runner: Optional[ExperimentRunner] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
+    cache: Optional[CacheBackend] = None,
     progress: Optional[ProgressFn] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Closed-loop coherence runs, keyed by scheme name.
@@ -207,7 +258,7 @@ def run_workload(
     """
     resolved = _coerce_preset(preset)
     profile = get_workload(workload, scale=scale)
-    run = _resolve_runner(runner, jobs, cache_dir, progress)
+    run = _resolve_runner(runner, jobs, cache_dir, cache, progress)
     if isinstance(schemes, str):
         summary = _experiment.run_workload(
             resolved.topology,

@@ -1,0 +1,157 @@
+"""repro.client — a small blocking client for the sweep service.
+
+Talks the versioned wire surface of :mod:`repro.service` with nothing
+but the stdlib::
+
+    from repro.client import ServiceClient
+
+    client = ServiceClient(port=8787)
+    job = client.submit_sweep(rates=[0.01, 0.03], warmup=300, measure=1200)
+    done = client.wait(job["id"], on_progress=print)   # streams SSE
+    rows = client.result(job["id"])["result"]["points"]
+
+``submit_*`` return the job's public record immediately (the server
+answers 202 before executing); :meth:`ServiceClient.wait` follows the
+job's Server-Sent-Events stream — history replays first, so attaching
+after completion still terminates.  Server-side schema violations
+surface as :class:`ServiceError` carrying the server's actionable
+message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.service.schemas import SWEEP_REQUEST_SCHEMA, WORKLOAD_REQUEST_SCHEMA
+
+#: SSE events that end a job stream.
+TERMINAL_EVENTS = ("done", "failed")
+
+ProgressCb = Callable[[Dict[str, object]], None]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (or a failed job) from the sweep service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Blocking HTTP/JSON + SSE client for one sweep service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+
+    def _open(self, method: str, path: str, body: Optional[Dict] = None):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        return conn, conn.getresponse()
+
+    def _request(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+        conn, response = self._open(method, path, body)
+        try:
+            data = response.read()
+        finally:
+            conn.close()
+        payload = json.loads(data.decode("utf-8")) if data else {}
+        if response.status >= 400:
+            raise ServiceError(
+                response.status, payload.get("error", "unexpected error")
+            )
+        return payload
+
+    # ------------------------------------------------------------------ #
+
+    def submit_sweep(self, **request) -> Dict[str, object]:
+        """``POST /v1/sweeps``; returns the accepted job record."""
+        request.setdefault("schema", SWEEP_REQUEST_SCHEMA)
+        return self._request("POST", "/v1/sweeps", request)["job"]
+
+    def submit_workload(self, **request) -> Dict[str, object]:
+        """``POST /v1/workloads``; returns the accepted job record."""
+        request.setdefault("schema", WORKLOAD_REQUEST_SCHEMA)
+        return self._request("POST", "/v1/workloads", request)["job"]
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> list:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """The completed job's result (409 -> ServiceError while running)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/stats")
+
+    def health(self) -> bool:
+        try:
+            return bool(self._request("GET", "/v1/healthz").get("ok"))
+        except (OSError, ServiceError):
+            return False
+
+    # ------------------------------------------------------------------ #
+
+    def stream(self, job_id: str) -> Iterator[Tuple[str, Dict[str, object]]]:
+        """Yield ``(event, data)`` from the job's SSE stream.
+
+        Ends after a terminal event (``done`` / ``failed``) or when the
+        server closes the connection (shutdown).
+        """
+        conn, response = self._open("GET", f"/v1/jobs/{job_id}/events")
+        try:
+            if response.status >= 400:
+                payload = json.loads(response.read().decode("utf-8") or "{}")
+                raise ServiceError(
+                    response.status, payload.get("error", "unexpected error")
+                )
+            event: Optional[str] = None
+            data: list = []
+            while True:
+                raw = response.readline()
+                if not raw:
+                    return
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith("event:"):
+                    event = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data.append(line[len("data:"):].strip())
+                elif not line and event is not None:
+                    payload = json.loads("\n".join(data)) if data else {}
+                    yield event, payload
+                    if event in TERMINAL_EVENTS:
+                        return
+                    event, data = None, []
+        finally:
+            conn.close()
+
+    def wait(
+        self, job_id: str, on_progress: Optional[ProgressCb] = None
+    ) -> Dict[str, object]:
+        """Follow the job's stream to completion; returns the final job.
+
+        Raises :class:`ServiceError` if the job failed.  If the stream
+        closed without a terminal event (server shutdown requeued the
+        job), the returned record's ``state`` says so — callers can
+        resubscribe after the service restarts.
+        """
+        for event, data in self.stream(job_id):
+            if event == "progress" and on_progress is not None:
+                on_progress(data)
+        job = self.job(job_id)
+        if job["state"] == "failed":
+            raise ServiceError(409, f"job {job_id} failed: {job['error']}")
+        return job

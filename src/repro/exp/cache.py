@@ -152,6 +152,8 @@ class ResultCache:
 
     def entries(self) -> List[Dict]:
         """Metadata of every readable entry (corrupt files are skipped)."""
+        from repro.exp.backends import entry_row
+
         rows = []
         for path in self._entry_paths():
             try:
@@ -159,16 +161,20 @@ class ResultCache:
                     entry = json.load(handle)
             except (ValueError, OSError):
                 continue
-            spec = entry.get("spec", {})
-            rows.append({
-                "key": entry.get("key", path.stem),
-                "created_unix": entry.get("created_unix", 0),
-                "git_rev": entry.get("git_rev", "unknown"),
-                "kind": spec.get("kind", "?"),
-                "label": spec_summary(spec),
-                "bytes": path.stat().st_size,
-            })
+            entry.setdefault("key", path.stem)
+            stat = path.stat()
+            rows.append(entry_row(entry, stat.st_size, stat.st_mtime))
         return rows
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss counters in the common backend-stats shape."""
+        return {
+            "backend": "dir",
+            "root": str(self.root),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+        }
 
     def gc(
         self, max_age_days: Optional[float] = None, drop_all: bool = False

@@ -8,9 +8,11 @@ It layers four things over a bare loop:
   ``concurrent.futures`` process pool (points are embarrassingly
   parallel: every one builds a fresh seeded network, so parallel results
   are bit-identical to serial by construction);
-* **content-addressed caching** — with a :class:`~repro.exp.cache.ResultCache`
-  attached, previously executed points are replayed from disk and only
-  misses are simulated.  Because the cache persists across processes,
+* **content-addressed caching** — with a
+  :class:`~repro.exp.backends.CacheBackend` attached (sharded-dir
+  :class:`~repro.exp.cache.ResultCache`, in-memory, or tiered),
+  previously executed points are replayed from the cache and only
+  misses are simulated.  Because an on-disk cache persists across processes,
   an interrupted campaign is *resumable*: re-running the same spec list
   skips every completed point and continues where it died;
 * **retry on worker crash** — a worker process dying (OOM kill, signal)
@@ -32,13 +34,14 @@ identical series.
 from __future__ import annotations
 
 import multiprocessing
-import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-from repro.exp.cache import ResultCache, cache_key, spec_summary
+from repro.exp.backends import CacheBackend
+from repro.exp.cache import cache_key, spec_summary
 from repro.exp.tasks import execute_spec
 
 
@@ -102,7 +105,7 @@ class ExperimentRunner:
     def __init__(
         self,
         jobs: int = 1,
-        cache: Optional[ResultCache] = None,
+        cache: Optional[CacheBackend] = None,
         retries: int = 2,
         execute: Optional[Callable[[Mapping], Dict[str, object]]] = None,
         mp_context: Optional[str] = None,
@@ -255,14 +258,21 @@ class ExperimentRunner:
 
 
 def default_runner(progress: Optional[ProgressFn] = None) -> ExperimentRunner:
-    """Runner configured from the environment.
+    """Deprecated: runner configured from the environment.
 
-    ``REPRO_JOBS`` sets the worker count (default 1: serial, zero
-    overhead) and ``REPRO_CACHE_DIR`` attaches a result cache, so any
-    existing sweep call site — benchmarks included — fans out without a
-    code change.
+    Environment configuration (``REPRO_JOBS`` worker count,
+    ``REPRO_CACHE_DIR`` cache attachment) now lives in **one** place —
+    :func:`repro.api.make_runner`, which reads both variables when its
+    arguments are None.  This shim delegates there and warns; it will be
+    removed once external callers have migrated.
     """
-    jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
-    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
-    cache = ResultCache(os.path.expanduser(cache_dir)) if cache_dir else None
-    return ExperimentRunner(jobs=jobs, cache=cache, progress=progress)
+    warnings.warn(
+        "repro.exp.default_runner() is deprecated; environment "
+        "configuration (REPRO_JOBS / REPRO_CACHE_DIR) moved to "
+        "repro.api.make_runner()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro import api
+
+    return api.make_runner(progress=progress)

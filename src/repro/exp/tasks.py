@@ -20,14 +20,11 @@ import dataclasses
 from typing import Callable, Dict, Mapping, Optional
 
 from repro.core.config import UPPConfig
+from repro.exp.schemas import JOB_SCHEMA, validate_job
 from repro.noc.config import NocConfig
 from repro.schemes.registry import make_scheme
 from repro.topology.registry import get_topology
 from repro.traffic.coherence import WorkloadProfile
-
-#: spec-schema version, embedded in every spec so a layout change can
-#: never be confused with an old cache entry.
-SPEC_VERSION = 1
 
 
 def sweep_point_spec(
@@ -43,7 +40,7 @@ def sweep_point_spec(
 ) -> Dict[str, object]:
     """One open-loop injection-rate point (the unit of a latency sweep)."""
     return {
-        "version": SPEC_VERSION,
+        "schema": JOB_SCHEMA,
         "kind": "sweep_point",
         "topology": topology,
         "cfg": cfg.to_dict(),
@@ -71,7 +68,7 @@ def workload_spec(
 ) -> Dict[str, object]:
     """One closed-loop coherence workload run (Figs. 8, 12, 15)."""
     return {
-        "version": SPEC_VERSION,
+        "schema": JOB_SCHEMA,
         "kind": "workload",
         "topology": topology,
         "cfg": cfg.to_dict(),
@@ -164,9 +161,11 @@ _EXECUTORS: Dict[str, Callable[[Mapping], Dict[str, object]]] = {
 
 
 def execute_spec(spec: Mapping) -> Dict[str, object]:
-    """Run one task spec to completion and return its plain-dict result."""
-    try:
-        executor = _EXECUTORS[spec["kind"]]
-    except KeyError:
-        raise ValueError(f"unknown task kind {spec.get('kind')!r}") from None
-    return executor(spec)
+    """Run one task spec to completion and return its plain-dict result.
+
+    Specs are validated against the ``repro-job/v1`` wire schema first —
+    the same :func:`~repro.exp.schemas.validate_job` gate the service and
+    client apply, so a malformed spec fails identically everywhere.
+    """
+    spec = validate_job(spec)
+    return _EXECUTORS[spec["kind"]](spec)

@@ -1,0 +1,38 @@
+"""repro.service — the async sweep service.
+
+A long-running asyncio HTTP/JSON server over :mod:`repro.api`: job
+submission, a crash-safe persistent queue, streaming progress (SSE),
+single-flight dedup by request fingerprint, and pluggable cache
+backends (:mod:`repro.exp.backends`).  Start one with
+``python -m repro serve`` and talk to it with
+:class:`repro.client.ServiceClient`.  See ``docs/service.md``.
+"""
+
+from repro.service.app import BackgroundService, SweepService, run_service
+from repro.service.jobs import JOB_KINDS, JOB_STATES, QUEUE_JOB_SCHEMA, Job
+from repro.service.queue import JobQueue
+from repro.service.schemas import (
+    SWEEP_REQUEST_SCHEMA,
+    WORKLOAD_REQUEST_SCHEMA,
+    request_fingerprint,
+    validate_request,
+    validate_sweep_request,
+    validate_workload_request,
+)
+
+__all__ = [
+    "BackgroundService",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "QUEUE_JOB_SCHEMA",
+    "SWEEP_REQUEST_SCHEMA",
+    "SweepService",
+    "WORKLOAD_REQUEST_SCHEMA",
+    "request_fingerprint",
+    "run_service",
+    "validate_request",
+    "validate_sweep_request",
+    "validate_workload_request",
+]

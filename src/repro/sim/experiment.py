@@ -48,9 +48,14 @@ def _resolve_topology(topo_factory: TopologyLike):
 
 
 def _runner_or_default(runner):
-    from repro.exp import default_runner
+    if runner is not None:
+        return runner
+    # env configuration (REPRO_JOBS / REPRO_CACHE_DIR) lives in exactly
+    # one place: repro.api.make_runner.  Imported lazily — repro.api
+    # imports this module at load time.
+    from repro import api
 
-    return runner if runner is not None else default_runner()
+    return api.make_runner()
 
 
 @dataclass

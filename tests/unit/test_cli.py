@@ -55,6 +55,36 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "frobnicate"])
 
+    def test_cache_ls_json_flag(self):
+        args = build_parser().parse_args(
+            ["cache", "ls", "--cache-dir", "/tmp/c", "--json"]
+        )
+        assert args.json is True
+        assert build_parser().parse_args(["cache", "ls"]).json is False
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.workers == 2
+        assert args.retries == 2
+        assert args.tiered is False
+        assert args.cache_dir is None
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--queue-dir", "/tmp/q",
+             "--cache-dir", "/tmp/c", "--tiered", "--jobs", "4",
+             "--workers", "3", "--retries", "5"]
+        )
+        assert args.port == 9000
+        assert args.queue_dir == "/tmp/q"
+        assert args.cache_dir == "/tmp/c"
+        assert args.tiered is True
+        assert args.jobs == 4
+        assert args.workers == 3
+        assert args.retries == 5
+
     def test_workload_requires_known_name(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["workload", "not_a_benchmark"])
@@ -109,6 +139,23 @@ class TestCommands:
         assert main(argv + ["--expect-cached"]) == 0
         out = capsys.readouterr().out
         assert "0 executed, 1 from cache" in out
+
+    def test_cache_ls_json_machine_readable(self, capsys, tmp_path):
+        import json
+
+        argv = ["sweep", "--rates", "0.02", "--warmup", "200", "--measure", "600",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["root"] == str(tmp_path)
+        (row,) = payload["entries"]
+        assert row["kind"] == "sweep_point"
+        assert row["scheme"] == "upp"
+        assert len(row["key"]) == 64  # sha256 fingerprint
+        assert row["bytes"] > 0
+        assert row["mtime_unix"] > 0
 
     def test_workload_small(self, capsys):
         code = main(["workload", "blackscholes", "--scale", "0.05"])

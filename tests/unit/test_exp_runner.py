@@ -151,17 +151,51 @@ class TestParallel:
 
 
 class TestDefaultRunner:
-    def test_env_configuration(self, monkeypatch, tmp_path):
+    """Env configuration now lives in repro.api.make_runner; the old
+    repro.exp.default_runner shim must warn and delegate."""
+
+    def test_default_runner_is_deprecated(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_JOBS", "3")
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-        runner = default_runner()
+        with pytest.warns(DeprecationWarning, match="repro.api.make_runner"):
+            runner = default_runner()
+        assert runner.jobs == 3
+        assert runner.cache is not None
+        assert runner.cache.root == tmp_path
+
+    def test_make_runner_reads_env_without_warning(self, monkeypatch, tmp_path):
+        import warnings
+
+        from repro import api
+
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            runner = api.make_runner()
         assert runner.jobs == 3
         assert runner.cache is not None
         assert runner.cache.root == tmp_path
 
     def test_env_defaults_to_serial_uncached(self, monkeypatch):
+        from repro import api
+
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
-        runner = default_runner()
+        runner = api.make_runner()
         assert runner.jobs == 1
         assert runner.cache is None
+
+    def test_library_sweep_path_does_not_warn(self, monkeypatch):
+        """run_sweep without runner= must not route through the
+        deprecated shim (the env read happens in repro.api)."""
+        import warnings
+
+        from repro.sim.experiment import _runner_or_default
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            runner = _runner_or_default(None)
+        assert runner.jobs == 1

@@ -1,0 +1,90 @@
+"""Tests for the ``repro-job/v1`` wire schema and its single validator."""
+
+import pytest
+
+from repro.exp.schemas import JOB_SCHEMA, JobSchemaError, job_kinds, validate_job
+from repro.exp.tasks import execute_spec, sweep_point_spec, workload_spec
+from repro.noc.config import NocConfig
+from repro.traffic.workloads import get_workload
+
+
+def sweep_spec(**overrides):
+    spec = sweep_point_spec(
+        "baseline", NocConfig(vcs_per_vnet=1), "upp", "uniform_random",
+        0.05, 200, 600,
+    )
+    spec.update(overrides)
+    return spec
+
+
+class TestValidateJob:
+    def test_real_sweep_spec_passes(self):
+        spec = sweep_spec()
+        assert spec["schema"] == JOB_SCHEMA
+        assert validate_job(spec) == spec
+
+    def test_real_workload_spec_passes(self):
+        spec = workload_spec(
+            "baseline", NocConfig(vcs_per_vnet=1), "upp",
+            get_workload("blackscholes", scale=0.05),
+        )
+        assert validate_job(spec) == spec
+
+    def test_returns_a_copy(self):
+        spec = sweep_spec()
+        validated = validate_job(spec)
+        validated["rate"] = 0.09
+        assert spec["rate"] == 0.05
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(JobSchemaError, match="JSON object"):
+            validate_job([1, 2, 3])
+
+    def test_missing_schema_tag_is_actionable(self):
+        spec = sweep_spec()
+        del spec["schema"]
+        with pytest.raises(JobSchemaError, match=r'add "schema": "repro-job/v1"'):
+            validate_job(spec)
+
+    def test_foreign_schema_rejected(self):
+        with pytest.raises(JobSchemaError, match="repro-job/v1"):
+            validate_job(sweep_spec(schema="repro-job/v99"))
+
+    def test_unknown_kind_suggests_close_match(self):
+        with pytest.raises(JobSchemaError, match="did you mean 'sweep_point'"):
+            validate_job(sweep_spec(kind="sweep_pont"))
+
+    def test_missing_field_is_named(self):
+        spec = sweep_spec()
+        del spec["rate"]
+        with pytest.raises(JobSchemaError, match="missing required field.*rate"):
+            validate_job(spec)
+
+    def test_unknown_field_rejected_with_suggestion(self):
+        with pytest.raises(JobSchemaError, match="paterrn.*did you mean 'pattern'"):
+            validate_job(sweep_spec(paterrn="uniform_random"))
+
+    def test_unknown_field_lists_accepted_fields(self):
+        with pytest.raises(JobSchemaError, match="accepts: .*pattern"):
+            validate_job(sweep_spec(bogus=1))
+
+    def test_wrong_type_is_named(self):
+        with pytest.raises(JobSchemaError, match="'rate' must be injection rate"):
+            validate_job(sweep_spec(rate="fast"))
+
+    def test_bool_does_not_pass_as_integer(self):
+        with pytest.raises(JobSchemaError, match="'warmup'"):
+            validate_job(sweep_spec(warmup=True))
+
+    def test_kinds_listing(self):
+        assert set(job_kinds()) == {"sweep_point", "workload"}
+
+
+class TestRunnerIntegration:
+    def test_execute_spec_validates_first(self):
+        with pytest.raises(JobSchemaError, match="schema"):
+            execute_spec({"kind": "sweep_point"})
+
+    def test_execute_spec_rejects_unknown_kind(self):
+        with pytest.raises(JobSchemaError, match="unknown job kind"):
+            execute_spec({"schema": JOB_SCHEMA, "kind": "frobnicate"})

@@ -1,0 +1,175 @@
+"""Tests for the crash-safe persistent job queue and Job records."""
+
+import json
+
+import pytest
+
+from repro.service.jobs import QUEUE_JOB_SCHEMA, Job
+from repro.service.queue import JobQueue
+from repro.service.schemas import (
+    job_fingerprint,
+    validate_sweep_request,
+    validate_workload_request,
+)
+
+
+def make_job(rate=0.01, submitted=None):
+    request, fingerprint = job_fingerprint("sweep", {"rates": [rate]})
+    job = Job.create("sweep", request, fingerprint)
+    if submitted is not None:
+        job.submitted_unix = submitted
+    return job
+
+
+class TestJob:
+    def test_round_trips_through_dict(self):
+        job = make_job()
+        job.metrics = {"queue_wait_s": 0.5}
+        data = job.to_dict()
+        assert data["schema"] == QUEUE_JOB_SCHEMA
+        assert Job.from_dict(json.loads(json.dumps(data))) == job
+
+    def test_foreign_schema_rejected(self):
+        data = make_job().to_dict()
+        data["schema"] = "repro-queue-job/v99"
+        with pytest.raises(ValueError, match=QUEUE_JOB_SCHEMA):
+            Job.from_dict(data)
+
+    def test_unknown_state_rejected(self):
+        data = make_job().to_dict()
+        data["state"] = "paused"
+        with pytest.raises(ValueError, match="unknown state"):
+            Job.from_dict(data)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            Job.create("batch", {}, "f" * 64)
+
+    def test_public_omits_result_body(self):
+        job = make_job()
+        job.result = {"points": [1, 2, 3]}
+        assert "result" not in job.public()
+        assert job.public()["state"] == "queued"
+
+
+class TestQueueBasics:
+    def test_submit_claim_fifo(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first = queue.submit(make_job(0.01, submitted=1.0))
+        second = queue.submit(make_job(0.03, submitted=2.0))
+        assert queue.pending() == 2
+        assert queue.claim_next().id == first.id
+        assert queue.claim_next().id == second.id
+        assert queue.claim_next() is None
+        assert first.state == "running"
+
+    def test_duplicate_id_rejected(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_job())
+        with pytest.raises(ValueError, match="duplicate"):
+            queue.submit(job)
+
+    def test_requeue_goes_to_front(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first = queue.submit(make_job(0.01, submitted=1.0))
+        queue.submit(make_job(0.03, submitted=2.0))
+        claimed = queue.claim_next()
+        queue.requeue(claimed)
+        assert claimed.requeues == 1
+        assert claimed.started_unix is None
+        assert queue.claim_next().id == first.id  # front, not back
+
+    def test_states_persist_across_reopen(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job = queue.submit(make_job())
+        claimed = queue.claim_next()
+        claimed.state = "done"
+        claimed.result = {"points": []}
+        queue.persist(claimed)
+
+        reopened = JobQueue(tmp_path)
+        again = reopened.get(job.id)
+        assert again.state == "done"
+        assert again.result == {"points": []}
+        assert reopened.pending() == 0
+        assert reopened.recovered == 0
+
+
+class TestCrashRecovery:
+    def test_running_job_is_requeued_on_load(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(make_job())
+        claimed = queue.claim_next()
+        assert claimed.state == "running"
+        # simulate the process dying here: reopen from disk only
+
+        recovered = JobQueue(tmp_path)
+        assert recovered.recovered == 1
+        job = recovered.get(claimed.id)
+        assert job.state == "queued"
+        assert job.requeues == 1
+        assert recovered.claim_next().id == claimed.id
+
+    def test_recovery_is_persisted(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit(make_job())
+        queue.claim_next()
+        JobQueue(tmp_path)  # recovers and persists queued state
+
+        third = JobQueue(tmp_path)
+        assert third.recovered == 0  # nothing left mid-flight
+        assert third.pending() == 1
+
+    def test_corrupt_file_renamed_aside_not_deleted(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        kept = queue.submit(make_job())
+        (tmp_path / "deadbeef0000.json").write_text("{not json", encoding="utf-8")
+
+        reopened = JobQueue(tmp_path)
+        assert reopened.corrupt == 1
+        assert reopened.get(kept.id) is not None
+        assert (tmp_path / "deadbeef0000.corrupt").exists()
+        assert not (tmp_path / "deadbeef0000.json").exists()
+
+    def test_foreign_schema_file_counts_corrupt(self, tmp_path):
+        data = make_job().to_dict()
+        data["schema"] = "other/v1"
+        (tmp_path / "aaaaaaaaaaaa.json").write_text(json.dumps(data), encoding="utf-8")
+        queue = JobQueue(tmp_path)
+        assert queue.corrupt == 1
+        assert queue.jobs() == []
+
+
+class TestRequestSchemas:
+    def test_sweep_defaults_filled(self):
+        request = validate_sweep_request({})
+        assert request["preset"] == "baseline"
+        assert request["scheme"] == "upp"
+        assert request["rates"] == [0.01, 0.03, 0.05, 0.07, 0.09]
+
+    def test_unknown_field_suggests(self):
+        from repro.exp.schemas import JobSchemaError
+
+        with pytest.raises(JobSchemaError, match="did you mean 'rates'"):
+            validate_sweep_request({"ratess": [0.01]})
+
+    def test_unknown_scheme_rejected_against_registry(self):
+        from repro.exp.schemas import JobSchemaError
+
+        with pytest.raises(JobSchemaError, match="unknown name 'teleport'"):
+            validate_sweep_request({"scheme": "teleport"})
+
+    def test_workload_defaults_filled(self):
+        request = validate_workload_request({})
+        assert request["workload"] == "canneal"
+        assert request["schemes"] == ["composable", "remote_control", "upp"]
+
+    def test_fingerprint_is_stable_under_field_order(self):
+        _, fp_a = job_fingerprint("sweep", {"rates": [0.01], "warmup": 2000})
+        _, fp_b = job_fingerprint("sweep", {"warmup": 2000, "rates": [0.01]})
+        assert fp_a == fp_b
+
+    def test_fingerprint_differs_for_different_requests(self):
+        _, fp_a = job_fingerprint("sweep", {"rates": [0.01]})
+        _, fp_b = job_fingerprint("sweep", {"rates": [0.03]})
+        assert fp_a != fp_b
